@@ -1,0 +1,98 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+1. **ALAP vs ASAP task scheduling** — the paper (Sec. II-B) adopts ALAP
+   "allowing qubits to remain in the ground state as long as possible";
+   the ablation quantifies how much fidelity ASAP loses for short
+   programs co-scheduled with deep ones.
+2. **Allocator shoot-out** — QuCP vs the crosstalk-blind policies
+   (MultiQC, QuCloud) and SRB-driven QuMC on the same mixed workload.
+3. **Crosstalk on/off** — how much of the parallel-execution fidelity
+   loss the crosstalk model itself accounts for.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.circuits import ghz_circuit
+from repro.core import (
+    execute_allocation,
+    multiqc_allocate,
+    oracle_characterization,
+    qucloud_allocate,
+    qucp_allocate,
+    qumc_allocate,
+)
+from repro.sim.executor import Program, run_parallel
+from repro.workloads import workload
+
+
+def test_ablation_alap_vs_asap(benchmark, toronto):
+    """ALAP protects the short program; ASAP lets it decohere."""
+    deep = ghz_circuit(3)
+    for _ in range(10):
+        deep.cx(0, 1).cx(1, 2)
+    deep.measure_all()
+    short = ghz_circuit(3).measure_all()
+
+    def run(mode):
+        programs = [Program(deep.copy(), (0, 1, 2)),
+                    Program(short.copy(), (3, 5, 8))]
+        res = run_parallel(programs, toronto, shots=0, scheduling=mode)[1]
+        return (res.probabilities.get("000", 0.0)
+                + res.probabilities.get("111", 0.0))
+
+    alap, asap = benchmark.pedantic(
+        lambda: (run("alap"), run("asap")), rounds=1, iterations=1)
+    print_table("Ablation: scheduling discipline (short-program fidelity)",
+                ["discipline", "GHZ fidelity"],
+                [["ALAP (paper)", f"{alap:.3f}"],
+                 ["ASAP", f"{asap:.3f}"]])
+    assert alap > asap
+
+
+def test_ablation_allocators(benchmark, toronto):
+    """Mean PST of the allocation policies on a mixed workload."""
+    names = ["adder", "fred", "alu"]
+    circuits = [workload(n).circuit() for n in names]
+    ratio_map = oracle_characterization(toronto)
+
+    def run_all():
+        rows = {}
+        allocs = {
+            "QuCP (sigma=4)": qucp_allocate(circuits, toronto),
+            "QuMC (SRB oracle)": qumc_allocate(circuits, toronto,
+                                               ratio_map=ratio_map),
+            "MultiQC": multiqc_allocate(circuits, toronto),
+            "QuCloud": qucloud_allocate(circuits, toronto),
+        }
+        for label, alloc in allocs.items():
+            outs = execute_allocation(alloc, shots=0, seed=42)
+            rows[label] = float(np.mean([o.pst() for o in outs]))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table("Ablation: allocator policies (mean PST, higher better)",
+                ["policy", "mean PST"],
+                [[k, f"{v:.3f}"] for k, v in rows.items()])
+    # Crosstalk-aware policies should not lose to crosstalk-blind ones.
+    blind_best = max(rows["MultiQC"], rows["QuCloud"])
+    assert rows["QuCP (sigma=4)"] >= blind_best - 0.05
+    assert rows["QuMC (SRB oracle)"] >= blind_best - 0.05
+
+
+def test_ablation_crosstalk_onoff(benchmark, toronto):
+    """How much fidelity the crosstalk model itself costs."""
+    circuits = [workload("alu").circuit() for _ in range(3)]
+    alloc = qucp_allocate(circuits, toronto, sigma=1.0)  # packed tight
+
+    def run(include):
+        outs = execute_allocation(alloc, shots=0, seed=9,
+                                  include_crosstalk=include)
+        return float(np.mean([o.pst() for o in outs]))
+
+    with_ct, without_ct = benchmark.pedantic(
+        lambda: (run(True), run(False)), rounds=1, iterations=1)
+    print_table("Ablation: ground-truth crosstalk contribution",
+                ["crosstalk", "mean PST"],
+                [["on", f"{with_ct:.3f}"], ["off", f"{without_ct:.3f}"]])
+    assert without_ct >= with_ct

@@ -1,0 +1,53 @@
+"""Cross-device scaling: fidelity vs program size on all three chips.
+
+Not a paper figure, but the context every paper claim lives in: larger
+programs decay faster, and newer chips (Toronto/Manhattan) out-fidelity
+the older Melbourne — which is why multi-programming *small* circuits on
+*large* chips is the interesting regime.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.circuits import ghz_circuit
+from repro.core import execute_allocation, qucp_allocate
+
+
+def test_ghz_scaling_across_devices(benchmark, melbourne, toronto,
+                                    manhattan):
+    """GHZ fidelity vs size per device; monotone decay everywhere."""
+    devices = (melbourne, toronto, manhattan)
+    sizes = (2, 3, 4, 5)
+
+    def run():
+        table = {}
+        for device in devices:
+            series = []
+            for n in sizes:
+                qc = ghz_circuit(n).measure_all()
+                alloc = qucp_allocate([qc], device)
+                out = execute_allocation(alloc, shots=0, seed=n)[0]
+                good = (out.result.probabilities.get("0" * n, 0.0)
+                        + out.result.probabilities.get("1" * n, 0.0))
+                series.append(good)
+            table[device.name] = series
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{v:.3f}" for v in series]
+        for name, series in table.items()
+    ]
+    print_table("GHZ fidelity vs size (best QuCP partition per device)",
+                ["device"] + [f"GHZ-{n}" for n in sizes], rows)
+
+    for name, series in table.items():
+        # Larger GHZ states are never better than smaller ones (within
+        # small numerical slack from different partitions).
+        for a, b in zip(series, series[1:]):
+            assert b <= a + 0.02, name
+    # The old 15q chip loses to the newer large chips at every size.
+    for idx in range(len(sizes)):
+        assert table["ibm_melbourne"][idx] <= min(
+            table["ibm_toronto"][idx], table["ibm_manhattan"][idx]
+        ) + 0.05

@@ -1,0 +1,43 @@
+"""Fig. 2 — SRB crosstalk characterization of IBM Q 27 Toronto.
+
+Runs the full SRB campaign over every one-hop link pair of the device and
+flags pairs whose simultaneous EPC ratio exceeds 2 — the red arrows of
+the paper's figure.  Because our device carries a hidden ground-truth
+crosstalk model, the bench can also score the campaign's precision and
+recall, which a real experiment cannot.
+"""
+
+from conftest import print_table
+
+from repro.characterization import characterize_crosstalk
+
+
+def test_fig2_crosstalk_map(benchmark, toronto):
+    """Discover Toronto's crosstalk-affected pairs via SRB."""
+    charac = benchmark.pedantic(
+        lambda: characterize_crosstalk(
+            toronto, seeds=2, shots=0, lengths=(1, 8, 20, 40),
+            threshold=2.0),
+        rounds=1, iterations=1)
+
+    significant = charac.significant_pairs()
+    truth = toronto.crosstalk.affected_pairs(threshold=2.0)
+    rows = [
+        [f"{a}x{b}",
+         f"{charac.ratio_map()[frozenset((a, b))]:.2f}",
+         f"{toronto.crosstalk.factor(a, b):.2f}"]
+        for a, b in significant
+    ]
+    print_table("Fig. 2: SRB-flagged crosstalk pairs (ratio >= 2)",
+                ["pair", "measured ratio", "ground truth"], rows)
+
+    quality = charac.compare_to_ground_truth(toronto)
+    print(f"precision={quality['precision']:.2f} "
+          f"recall={quality['recall']:.2f} "
+          f"({int(quality['found_pairs'])} found / "
+          f"{int(quality['true_pairs'])} true)")
+
+    # Shape: a minority of pairs is affected, and SRB finds most of them.
+    assert 0 < len(significant) < len(charac.results)
+    assert quality["recall"] >= 0.7
+    assert quality["precision"] >= 0.7

@@ -1,0 +1,67 @@
+"""Fig. 4 — throughput vs fidelity on IBM Q 65 Manhattan.
+
+For 4mod5-v1_22 (panel a) and alu-v0_27 (panel b), sweeps the fidelity
+threshold; QuCP admits 1..6 simultaneous copies, spanning hardware
+throughput 7.7% -> 46.2%.  The paper observes significant fidelity loss
+past ~38% throughput — the shape assertions check the throughput
+endpoints exactly and the fidelity decline directionally.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core import execute_allocation, select_parallel_count
+from repro.workloads import workload
+
+THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0)
+
+
+def _sweep(name, device):
+    circuit = workload(name).circuit()
+    rows = []
+    series = []
+    for threshold in THRESHOLDS:
+        decision = select_parallel_count(circuit, device,
+                                         threshold=threshold,
+                                         max_copies=6)
+        outcomes = execute_allocation(decision.allocation, shots=0,
+                                      seed=int(threshold * 100))
+        avg_pst = float(np.mean([o.pst() for o in outcomes]))
+        rows.append([f"{threshold:.2f}", decision.num_parallel,
+                     f"{decision.throughput:.1%}", f"{avg_pst:.3f}"])
+        series.append((decision.num_parallel, decision.throughput,
+                       avg_pst))
+    return rows, series
+
+
+def _check_shape(series):
+    counts = [s[0] for s in series]
+    throughputs = [s[1] for s in series]
+    # Threshold 0 admits one copy at 7.7%; the sweep reaches 6 at 46.2%.
+    assert counts[0] == 1
+    assert throughputs[0] == 5 / 65
+    assert max(counts) == 6
+    assert max(throughputs) == 30 / 65
+    assert counts == sorted(counts)
+    # Fidelity at max throughput is below fidelity at min throughput.
+    assert series[-1][2] <= series[0][2] + 0.02
+
+
+def test_fig4a_4mod5(benchmark, manhattan):
+    """Panel (a): 4mod5-v1_22."""
+    rows, series = benchmark.pedantic(
+        lambda: _sweep("4mod5-v1_22", manhattan), rounds=1, iterations=1)
+    print_table("Fig. 4a: 4mod5-v1_22 on Manhattan",
+                ["threshold", "n_parallel", "throughput", "avg PST"],
+                rows)
+    _check_shape(series)
+
+
+def test_fig4b_alu(benchmark, manhattan):
+    """Panel (b): alu-v0_27."""
+    rows, series = benchmark.pedantic(
+        lambda: _sweep("alu-v0_27", manhattan), rounds=1, iterations=1)
+    print_table("Fig. 4b: alu-v0_27 on Manhattan",
+                ["threshold", "n_parallel", "throughput", "avg PST"],
+                rows)
+    _check_shape(series)

@@ -1,0 +1,43 @@
+"""Routing-policy ablation: basic shortest-path vs SABRE lookahead.
+
+The transpiler is part of the substrate every paper experiment runs on
+(Sec. II-B "Qubit mapping"); this bench quantifies the SWAP cost of the
+two routers on representative circuits and asserts SABRE never loses.
+"""
+
+from conftest import print_table
+
+from repro.circuits import qft_circuit, quantum_volume_circuit, random_circuit
+from repro.hardware import linear_device
+from repro.transpiler import transpile
+
+CASES = [
+    ("qft5/line6", lambda: qft_circuit(5)),
+    ("qft6/line6", lambda: qft_circuit(6)),
+    ("qv6/line6", lambda: quantum_volume_circuit(6, seed=3)),
+    ("random6x8", lambda: random_circuit(6, 8, seed=5)),
+]
+
+
+def test_router_ablation(benchmark):
+    """SWAP counts per router on a 6-qubit line device."""
+    device = linear_device(6, seed=2)
+
+    def run():
+        rows = []
+        totals = {"basic": 0, "sabre": 0}
+        for label, make in CASES:
+            counts = {}
+            for router in ("basic", "sabre"):
+                result = transpile(make(), device.coupling,
+                                   device.calibration, router=router)
+                counts[router] = result.num_swaps
+                totals[router] += result.num_swaps
+            rows.append([label, counts["basic"], counts["sabre"]])
+        return rows, totals
+
+    rows, totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows.append(["TOTAL", totals["basic"], totals["sabre"]])
+    print_table("Router ablation: SWAP insertions (lower is better)",
+                ["circuit", "basic", "sabre"], rows)
+    assert totals["sabre"] <= totals["basic"]

@@ -1,0 +1,32 @@
+"""Table II — the benchmark suite.
+
+Regenerates the paper's benchmark-information table from the workload
+registry and asserts the counts match the published numbers exactly.
+"""
+
+from conftest import print_table
+
+from repro.sim import ideal_probabilities
+from repro.workloads import TABLE_II, all_workloads
+
+
+def test_table2_benchmark_info(benchmark):
+    """Qubits / gates / CX / output type for all 8 benchmarks."""
+
+    def build():
+        rows = []
+        for w in all_workloads():
+            qc = w.circuit(measured=False)
+            n_outcomes = len(ideal_probabilities(w.circuit()))
+            rows.append([w.name, qc.num_qubits, qc.size(), qc.num_cx(),
+                         "1" if n_outcomes == 1 else "dist"])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table("Table II: benchmarks",
+                ["benchmark", "qubits", "gates", "CX", "result"], rows)
+
+    for name, qubits, gates, cx, result in rows:
+        exp_q, exp_g, exp_cx, exp_r = TABLE_II[name]
+        assert (qubits, gates, cx, result) == (exp_q, exp_g, exp_cx,
+                                               exp_r), name

@@ -1,0 +1,45 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  Shape assertions (who
+wins, where crossovers fall) are enforced; absolute values differ because
+the substrate is a seeded noise-model simulator, not the 2021 IBM fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import ibm_manhattan, ibm_melbourne, ibm_toronto
+
+
+@pytest.fixture(scope="session")
+def toronto():
+    """IBM Q 27 Toronto."""
+    return ibm_toronto()
+
+
+@pytest.fixture(scope="session")
+def manhattan():
+    """IBM Q 65 Manhattan."""
+    return ibm_manhattan()
+
+
+@pytest.fixture(scope="session")
+def melbourne():
+    """IBM Q 16 Melbourne."""
+    return ibm_melbourne()
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a fixed-width table to stdout (shown with pytest -s)."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,59 @@
+"""Stacking error suppression on a parallel workload.
+
+Combines three techniques the paper discusses on one QuCP parallel job:
+
+1. QuCP partition selection (crosstalk avoidance, no SRB),
+2. dynamical decoupling in the idle windows of the ALAP schedule,
+3. tensored readout error mitigation per partition.
+
+Run:  python examples/error_suppression_stack.py
+"""
+
+from repro.core import (
+    execute_allocation,
+    jensen_shannon_divergence,
+    qucp_allocate,
+)
+from repro.hardware import ibm_toronto
+from repro.mitigation import calibrate_readout
+from repro.transpiler import insert_dd_sequences, transpile_for_partition
+from repro.workloads import workload
+
+
+def main() -> None:
+    device = ibm_toronto()
+    circuits = [workload(n).circuit() for n in ("qec", "var", "bell")]
+    allocation = qucp_allocate(circuits, device)
+
+    def dd_transpiler(circuit, dev, alloc):
+        result = transpile_for_partition(circuit, dev, alloc.partition,
+                                         schedule=True)
+        result.circuit = insert_dd_sequences(
+            result.circuit, dev.calibration.gate_duration)
+        return result
+
+    plain = execute_allocation(allocation, shots=0, seed=21)
+    stacked = execute_allocation(allocation, shots=0, seed=21,
+                                 transpiler_fn=dd_transpiler)
+
+    print(f"{'program':>12} | {'raw JSD':>8} | {'DD':>8} | "
+          f"{'DD+readout':>10}")
+    print("-" * 50)
+    for raw_out, dd_out in zip(plain, stacked):
+        mitigator = calibrate_readout(
+            device, dd_out.allocation.partition, shots=0)
+        mitigated = mitigator.apply(dd_out.result.probabilities)
+        jsd_raw = raw_out.jsd()
+        jsd_dd = dd_out.jsd()
+        jsd_full = jensen_shannon_divergence(mitigated, dd_out.ideal)
+        name = raw_out.allocation.circuit.name
+        print(f"{name:>12} | {jsd_raw:>8.4f} | {jsd_dd:>8.4f} | "
+              f"{jsd_full:>10.4f}")
+
+    print("\nEach program runs simultaneously on its QuCP partition; DD "
+          "echoes idle drift; the confusion-matrix inverse repairs "
+          "readout bias.")
+
+
+if __name__ == "__main__":
+    main()

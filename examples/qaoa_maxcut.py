@@ -1,0 +1,49 @@
+"""QAOA MaxCut with a parallel angle grid.
+
+The paper's conclusion: parallel circuit execution is "a key enabler for
+quantum algorithms requiring parallel sub-problem executions".  QAOA's
+angle search is exactly that — every (gamma, beta) candidate is an
+independent circuit.  This example evaluates a whole p=1 grid for MaxCut
+on a 4-cycle in a single hardware job on IBM Q 65 Manhattan.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+import networkx as nx
+
+from repro.hardware import ibm_manhattan
+from repro.vqe import (
+    max_cut_value,
+    run_qaoa_grid_ideal,
+    run_qaoa_grid_parallel,
+)
+
+
+def main() -> None:
+    # A triangle keeps the 16-program parallel grid at 48/65 qubits
+    # (73.8% -- the paper's largest packing regime).
+    graph = nx.complete_graph(3)
+    optimum = max_cut_value(graph)
+    print(f"graph: triangle (K3), exact MaxCut = {optimum:g}")
+
+    ideal = run_qaoa_grid_ideal(graph, resolution=4)
+    g_i, b_i, cut_i = ideal.best
+    print(f"\nideal grid (16 points): best cut {cut_i:.3f} at "
+          f"gamma={g_i:.2f}, beta={b_i:.2f} "
+          f"(ratio {ideal.approximation_ratio(graph):.2f})")
+
+    device = ibm_manhattan()
+    noisy = run_qaoa_grid_parallel(graph, device, resolution=4,
+                                   shots=4096, seed=5)
+    g_n, b_n, cut_n = noisy.best
+    print(f"QuCP parallel grid: {noisy.num_simultaneous} circuits in one "
+          f"job, throughput {noisy.throughput:.1%}")
+    print(f"  best cut {cut_n:.3f} at gamma={g_n:.2f}, beta={b_n:.2f} "
+          f"(ratio {noisy.approximation_ratio(graph):.2f})")
+
+    print("\nAll 16 angle evaluations cost one queue slot instead of 16 —"
+          " the speedup the paper's conclusion anticipates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""VQE for molecular H2 with parallel measurement execution (Sec. IV-C).
+
+Estimates the H2 ground-state energy at 0.735 angstroms by scanning the
+tied ansatz parameter.  Each scan point needs two measurement circuits
+(the {II, IZ, ZI, ZZ} group and the {XX} group); QuCP runs *all* of them
+simultaneously on IBM Q 65 Manhattan, pushing throughput from 3.1% to
+~74% with a modest accuracy cost.
+
+Run:  python examples/vqe_h2.py
+"""
+
+import numpy as np
+
+from repro.hardware import ibm_manhattan
+from repro.vqe import (
+    group_commuting_terms,
+    h2_hamiltonian,
+    relative_error_percent,
+    run_vqe_scan_ideal,
+    run_vqe_scan_independent,
+    run_vqe_scan_parallel,
+)
+
+
+def main() -> None:
+    hamiltonian = h2_hamiltonian()
+    exact = hamiltonian.ground_energy()
+    groups = group_commuting_terms(hamiltonian)
+    print("H2 @ 0.735 A, parity mapping:",
+          [t.label for t, _ in hamiltonian])
+    print("commuting groups:",
+          [[t.label for t, _ in g.terms] for g in groups])
+    print(f"exact ground energy (SciPy eigensolver): {exact:.6f} Ha\n")
+
+    device = ibm_manhattan()
+    thetas = np.linspace(-np.pi, np.pi, 12)
+
+    ideal = run_vqe_scan_ideal(thetas)
+    parallel = run_vqe_scan_parallel(thetas, device, shots=8192, seed=33)
+    independent = run_vqe_scan_independent(thetas, device, shots=8192,
+                                           seed=33)
+
+    print(f"{'method':>10} | {'n_circ':>6} | {'throughput':>10} | "
+          f"{'E_min':>9} | {'dE_theory':>9}")
+    print("-" * 58)
+    for result in (ideal, independent, parallel):
+        n_circ = (result.num_simultaneous
+                  if result.method == "QuCP+PG" else 1)
+        de = relative_error_percent(result.minimum_energy, exact)
+        print(f"{result.method:>10} | {n_circ:>6} | "
+              f"{result.throughput:>9.1%} | "
+              f"{result.minimum_energy:>9.4f} | {de:>8.1f}%")
+
+    print("\nQuCP+PG executes every scan point's measurement circuits "
+          "in one hardware job — the measurement-overhead reduction the "
+          "paper demonstrates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Zero-noise extrapolation with parallel folded circuits (Sec. IV-D).
+
+For each benchmark, compares three flows on IBM Q 65 Manhattan:
+
+- Baseline: one unmitigated run on the best partition;
+- QuCP+ZNE: the four folded circuits (scale 1.0-2.5) run simultaneously,
+  then extrapolate to zero noise;
+- ZNE: the folded circuits run one-by-one (4x the queue time).
+
+Reproduces the shape of Fig. 6: mitigation beats the baseline, and the
+parallel variant gets most of the benefit at a fraction of the runtime.
+
+Run:  python examples/zne_mitigation.py
+"""
+
+from repro.hardware import ibm_manhattan
+from repro.mitigation import run_zne_comparison
+from repro.workloads import workload
+
+
+def main() -> None:
+    device = ibm_manhattan()
+    names = ["adder", "4mod", "fred", "lin"]
+
+    print(f"{'benchmark':>12} | {'baseline':>8} | {'QuCP+ZNE':>8} | "
+          f"{'ZNE':>8} | {'parallel thr':>12}")
+    print("-" * 62)
+    improvements = []
+    for name in names:
+        circuit = workload(name).circuit()
+        cmp = run_zne_comparison(circuit, device, shots=8192, seed=77)
+        print(f"{cmp.name:>12} | {cmp.baseline_error:>8.3f} | "
+              f"{cmp.qucp_zne_error:>8.3f} | {cmp.zne_error:>8.3f} | "
+              f"{cmp.qucp_zne_throughput:>11.1%}")
+        if cmp.qucp_zne_error > 0:
+            improvements.append(cmp.baseline_error / cmp.qucp_zne_error)
+
+    if improvements:
+        avg = sum(improvements) / len(improvements)
+        print(f"\nQuCP+ZNE error reduction vs baseline: {avg:.1f}x "
+              f"average (paper reports ~2x average, 11x best case)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: allows legacy editable installs in offline environments
+where the `wheel` package (needed for PEP 517 editable wheels) is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "How Parallel Circuit Execution Can Be Useful
+for NISQ Computing?" (Niu & Todri-Sanial, DATE 2022).
+
+The package implements, from scratch:
+
+- a quantum-circuit IR and OpenQASM 2.0 I/O (:mod:`repro.circuits`)
+- ideal and noisy (density-matrix) simulators (:mod:`repro.sim`)
+- synthetic IBM-style devices with calibration data and a ground-truth
+  crosstalk model (:mod:`repro.hardware`)
+- randomized benchmarking / simultaneous RB (:mod:`repro.characterization`)
+- a noise-aware transpiler with ALAP scheduling (:mod:`repro.transpiler`)
+- the paper's contribution — QuCP crosstalk-aware parallel workload
+  execution — plus the QuMC / CNA / MultiQC / QuCloud baselines
+  (:mod:`repro.core`)
+- the Table II benchmark suite (:mod:`repro.workloads`)
+- VQE with Pauli grouping (:mod:`repro.vqe`) and digital ZNE error
+  mitigation (:mod:`repro.mitigation`)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    characterization,
+    circuits,
+    core,
+    hardware,
+    mitigation,
+    sim,
+    transpiler,
+    vqe,
+    workloads,
+)
+
+__all__ = [
+    "__version__",
+    "characterization",
+    "circuits",
+    "core",
+    "hardware",
+    "mitigation",
+    "sim",
+    "transpiler",
+    "vqe",
+    "workloads",
+]

@@ -1,0 +1,170 @@
+"""Simultaneous Randomized Benchmarking — crosstalk characterization.
+
+For a one-hop link pair ``(g_i, g_j)``:
+
+1. run RB on ``g_i`` alone -> ``EPC(g_i)``;
+2. run RB on ``g_j`` alone -> ``EPC(g_j)``;
+3. run RB on both simultaneously -> ``EPC(g_i | g_j)``, ``EPC(g_j | g_i)``.
+
+The crosstalk ratio ``r = EPC(g_i | g_j) / EPC(g_i)`` quantifies how much
+driving ``g_j`` degrades ``g_i``; pairs with ``r`` above a threshold are
+the red arrows in the paper's Fig. 2.  QuMC consumes this map; QuCP's
+whole point is *not needing it*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.devices import Device
+from ..hardware.topology import Edge
+from ..sim.executor import Program, run_parallel
+from .rb import DEFAULT_RB_LENGTHS, fit_rb_decay, rb_sequence, rb_survival
+from .scheduling import SRBExperiment, srb_experiments
+
+__all__ = [
+    "SRBPairResult",
+    "CrosstalkCharacterization",
+    "run_srb_experiment",
+    "characterize_crosstalk",
+]
+
+
+@dataclass(frozen=True)
+class SRBPairResult:
+    """EPCs for one one-hop link pair, alone and simultaneous."""
+
+    link_a: Edge
+    link_b: Edge
+    epc_a: float
+    epc_b: float
+    epc_a_simultaneous: float
+    epc_b_simultaneous: float
+
+    @property
+    def ratio_a(self) -> float:
+        """Crosstalk ratio on link A (>= ~2 is significant)."""
+        return self.epc_a_simultaneous / max(self.epc_a, 1e-9)
+
+    @property
+    def ratio_b(self) -> float:
+        """Crosstalk ratio on link B."""
+        return self.epc_b_simultaneous / max(self.epc_b, 1e-9)
+
+    @property
+    def max_ratio(self) -> float:
+        """The larger of the two directional ratios."""
+        return max(self.ratio_a, self.ratio_b)
+
+
+@dataclass
+class CrosstalkCharacterization:
+    """The measured crosstalk map of a device (the paper's Fig. 2)."""
+
+    device_name: str
+    results: Tuple[SRBPairResult, ...]
+    threshold: float = 2.0
+
+    def significant_pairs(self) -> Tuple[Tuple[Edge, Edge], ...]:
+        """Pairs whose measured ratio exceeds the threshold."""
+        return tuple(
+            (r.link_a, r.link_b) for r in self.results
+            if r.max_ratio >= self.threshold
+        )
+
+    def ratio_map(self) -> Dict[FrozenSet[Edge], float]:
+        """Unordered-pair -> measured max ratio (consumed by QuMC)."""
+        return {
+            frozenset((r.link_a, r.link_b)): r.max_ratio
+            for r in self.results
+        }
+
+    def compare_to_ground_truth(self, device: Device
+                                ) -> Dict[str, float]:
+        """Precision/recall of the discovered map vs the hidden truth."""
+        truth = {
+            frozenset(p) for p in device.crosstalk.affected_pairs(
+                threshold=self.threshold)
+        }
+        found = {frozenset(p) for p in self.significant_pairs()}
+        tp = len(truth & found)
+        precision = tp / len(found) if found else 1.0
+        recall = tp / len(truth) if truth else 1.0
+        return {"precision": precision, "recall": recall,
+                "true_pairs": float(len(truth)),
+                "found_pairs": float(len(found))}
+
+
+def _rb_epc(
+    device: Device,
+    target: Edge,
+    companion: Optional[Edge],
+    lengths: Sequence[int],
+    seeds: int,
+    shots: int,
+    rng: np.random.Generator,
+) -> float:
+    """EPC of *target*, optionally with *companion* driven simultaneously."""
+    survival: List[float] = []
+    for length in lengths:
+        values = []
+        for _ in range(seeds):
+            programs = [Program(rb_sequence(2, length, rng), target)]
+            if companion is not None:
+                programs.append(
+                    Program(rb_sequence(2, length, rng), companion))
+            results = run_parallel(programs, device, shots=shots,
+                                   seed=int(rng.integers(1 << 31)))
+            values.append(rb_survival(results[0].probabilities))
+        survival.append(float(np.mean(values)))
+    _, epc, _, _ = fit_rb_decay(lengths, survival, 2)
+    return epc
+
+
+def run_srb_experiment(
+    device: Device,
+    experiment: SRBExperiment,
+    lengths: Sequence[int] = DEFAULT_RB_LENGTHS,
+    seeds: int = 3,
+    shots: int = 1024,
+    rng_seed: int = 99,
+) -> SRBPairResult:
+    """Run the 3-job SRB protocol on one one-hop link pair."""
+    rng = np.random.default_rng(rng_seed)
+    ea = _rb_epc(device, experiment.link_a, None, lengths, seeds, shots, rng)
+    eb = _rb_epc(device, experiment.link_b, None, lengths, seeds, shots, rng)
+    eas = _rb_epc(device, experiment.link_a, experiment.link_b,
+                  lengths, seeds, shots, rng)
+    ebs = _rb_epc(device, experiment.link_b, experiment.link_a,
+                  lengths, seeds, shots, rng)
+    return SRBPairResult(experiment.link_a, experiment.link_b,
+                         ea, eb, eas, ebs)
+
+
+def characterize_crosstalk(
+    device: Device,
+    experiments: Sequence[SRBExperiment] = (),
+    lengths: Sequence[int] = DEFAULT_RB_LENGTHS,
+    seeds: int = 3,
+    shots: int = 1024,
+    threshold: float = 2.0,
+    rng_seed: int = 99,
+) -> CrosstalkCharacterization:
+    """Characterize the whole device (all one-hop pairs by default).
+
+    This is the expensive step the paper's Table I quantifies — and the
+    overhead QuCP eliminates.
+    """
+    if not experiments:
+        experiments = srb_experiments(device.coupling)
+    results = []
+    for k, experiment in enumerate(experiments):
+        results.append(
+            run_srb_experiment(device, experiment, lengths=lengths,
+                               seeds=seeds, shots=shots,
+                               rng_seed=rng_seed + 17 * k))
+    return CrosstalkCharacterization(device.name, tuple(results),
+                                     threshold=threshold)

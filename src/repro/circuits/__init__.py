@@ -1,0 +1,68 @@
+"""Quantum-circuit intermediate representation.
+
+Public surface:
+
+- :class:`~repro.circuits.circuit.QuantumCircuit` / `Instruction`
+- :class:`~repro.circuits.gates.Gate` and the :func:`gate` factory
+- DAG utilities (`asap_layers`, `alap_layers`, `CircuitDag`)
+- OpenQASM 2.0 I/O (`parse_qasm`, `to_qasm`)
+- circuit constructors (`ghz_circuit`, `qft_circuit`, `random_circuit`, ...)
+- Clifford groups for randomized benchmarking
+"""
+
+from .circuit import CircuitError, Instruction, QuantumCircuit
+from .clifford import (
+    CliffordElement,
+    CliffordGroup,
+    clifford_group_1q,
+    clifford_group_2q,
+)
+from .draw import draw
+from .dag import CircuitDag, alap_layers, asap_layers, simultaneous_twoq_pairs
+from .gates import BASIS_GATES, DIRECTIVES, Gate, GateError, gate
+from .parameters import Parameter, ParameterExpression, UnboundParameterError
+from .library import (
+    bell_pair,
+    bernstein_vazirani_circuit,
+    deutsch_jozsa_circuit,
+    ghz_circuit,
+    qft_circuit,
+    quantum_volume_circuit,
+    random_circuit,
+    w_state_circuit,
+)
+from .qasm import QasmError, parse_qasm, to_qasm
+
+__all__ = [
+    "BASIS_GATES",
+    "DIRECTIVES",
+    "CircuitDag",
+    "CircuitError",
+    "CliffordElement",
+    "CliffordGroup",
+    "Gate",
+    "GateError",
+    "Instruction",
+    "Parameter",
+    "ParameterExpression",
+    "QasmError",
+    "QuantumCircuit",
+    "UnboundParameterError",
+    "alap_layers",
+    "asap_layers",
+    "bell_pair",
+    "bernstein_vazirani_circuit",
+    "clifford_group_1q",
+    "deutsch_jozsa_circuit",
+    "clifford_group_2q",
+    "draw",
+    "gate",
+    "ghz_circuit",
+    "parse_qasm",
+    "qft_circuit",
+    "quantum_volume_circuit",
+    "random_circuit",
+    "simultaneous_twoq_pairs",
+    "to_qasm",
+    "w_state_circuit",
+]

@@ -1,0 +1,161 @@
+"""DAG view of a circuit: dependency layers and ASAP/ALAP levelling.
+
+The multiprogramming scheduler needs to know which gates execute
+*simultaneously* (to apply crosstalk between one-hop CNOT pairs), and the
+ALAP pass needs per-gate time slots.  Both are derived here from the
+qubit-wise dependency structure of the instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import Instruction, QuantumCircuit
+
+__all__ = ["DagNode", "CircuitDag", "asap_layers", "alap_layers"]
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One instruction plus its position in the original circuit."""
+
+    index: int
+    instruction: Instruction
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """Qubits the node touches."""
+        return self.instruction.qubits
+
+
+class CircuitDag:
+    """Directed acyclic dependency graph over a circuit's instructions.
+
+    Edges connect consecutive instructions that share a qubit or clbit.
+    Barriers create dependencies across all the qubits they span but are
+    not emitted as layer members.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: List[DagNode] = [
+            DagNode(i, inst) for i, inst in enumerate(circuit)
+        ]
+        self.successors: Dict[int, List[int]] = {n.index: [] for n in self.nodes}
+        self.predecessors: Dict[int, List[int]] = {n.index: [] for n in self.nodes}
+        last_on_qubit: Dict[int, int] = {}
+        last_on_clbit: Dict[int, int] = {}
+        for node in self.nodes:
+            deps = set()
+            for q in node.instruction.qubits:
+                if q in last_on_qubit:
+                    deps.add(last_on_qubit[q])
+                last_on_qubit[q] = node.index
+            for c in node.instruction.clbits:
+                if c in last_on_clbit:
+                    deps.add(last_on_clbit[c])
+                last_on_clbit[c] = node.index
+            for dep in sorted(deps):
+                self.successors[dep].append(node.index)
+                self.predecessors[node.index].append(dep)
+
+    def front_layer(self) -> List[DagNode]:
+        """Nodes with no predecessors (the executable frontier)."""
+        return [n for n in self.nodes if not self.predecessors[n.index]]
+
+    def topological_order(self) -> List[DagNode]:
+        """Nodes in a topological order (original order works by design)."""
+        return list(self.nodes)
+
+
+def _levels(circuit: QuantumCircuit) -> List[int]:
+    """ASAP level of each instruction (barriers participate, level -1 when
+    the instruction is a barrier so callers can skip them)."""
+    qubit_level: Dict[int, int] = {}
+    clbit_level: Dict[int, int] = {}
+    levels: List[int] = []
+    for inst in circuit:
+        start = max(
+            [qubit_level.get(q, 0) for q in inst.qubits]
+            + [clbit_level.get(c, 0) for c in inst.clbits]
+            + [0]
+        )
+        end = start + 1
+        for q in inst.qubits:
+            qubit_level[q] = end
+        for c in inst.clbits:
+            clbit_level[c] = end
+        levels.append(start)
+    return levels
+
+
+def asap_layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Group instructions into As-Soon-As-Possible layers.
+
+    Layer *k* contains instructions whose every dependency completed in
+    layers ``< k``.  Barriers enforce ordering but are not emitted.
+    """
+    levels = _levels(circuit)
+    depth = max(levels, default=-1) + 1
+    layers: List[List[Instruction]] = [[] for _ in range(depth)]
+    for inst, lvl in zip(circuit, levels):
+        if inst.name == "barrier":
+            continue
+        layers[lvl].append(inst)
+    return [layer for layer in layers if layer]
+
+
+def alap_layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Group instructions into As-Late-As-Possible layers.
+
+    This is the scheduling discipline all the parallel-execution papers use:
+    qubits stay in the ground state as long as possible, so programs of
+    different depths *finish* together rather than *start* together.
+    Implemented as ASAP on the reversed instruction list, then re-reversed.
+    """
+    reversed_circuit = QuantumCircuit(circuit.num_qubits, circuit.num_clbits)
+    for inst in reversed(circuit.instructions):
+        reversed_circuit._instructions.append(inst)  # noqa: SLF001
+    rev_layers = asap_layers(reversed_circuit)
+    return [list(layer) for layer in reversed(rev_layers)]
+
+
+def instruction_levels(circuit: QuantumCircuit,
+                       mode: str = "asap") -> List[int]:
+    """Per-instruction time level under ASAP or ALAP scheduling.
+
+    For ``mode="asap"`` the level counts from the circuit start; for
+    ``mode="alap"`` the returned value is the level counted **from the
+    end** (0 = final layer), which is the natural alignment for parallel
+    programs that finish together.
+    """
+    if mode == "asap":
+        return _levels(circuit)
+    if mode == "alap":
+        reversed_circuit = QuantumCircuit(circuit.num_qubits,
+                                          circuit.num_clbits)
+        for inst in reversed(circuit.instructions):
+            reversed_circuit._instructions.append(inst)  # noqa: SLF001
+        rev = _levels(reversed_circuit)
+        return list(reversed(rev))
+    raise ValueError(f"unknown scheduling mode {mode!r}")
+
+
+def simultaneous_twoq_pairs(
+    layers: Sequence[Sequence[Instruction]],
+) -> List[List[Tuple[int, int]]]:
+    """For each layer, the list of 2-qubit gate pairs active in that layer.
+
+    Pairs are returned as sorted ``(low, high)`` qubit tuples — the unit the
+    crosstalk model reasons about.
+    """
+    out: List[List[Tuple[int, int]]] = []
+    for layer in layers:
+        pairs = [
+            (min(inst.qubits), max(inst.qubits))
+            for inst in layer
+            if not inst.gate.is_directive and len(inst.qubits) == 2
+        ]
+        out.append(pairs)
+    return out

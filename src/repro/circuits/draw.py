@@ -1,0 +1,98 @@
+"""ASCII circuit rendering.
+
+A compact text drawer for debugging and examples:
+
+>>> from repro.circuits import QuantumCircuit
+>>> from repro.circuits.draw import draw
+>>> qc = QuantumCircuit(2, 2)
+>>> _ = qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+>>> print(draw(qc))
+q0: -[h]---*----[M]-------
+q1: ------[X]--------[M]--
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .circuit import QuantumCircuit
+
+__all__ = ["draw"]
+
+
+def _gate_label(name: str, params) -> str:
+    if name == "measure":
+        return "[M]"
+    if name == "reset":
+        return "[R]"
+    if name == "delay":
+        return f"[~{params[0]:g}]"
+    if params:
+        pstr = ",".join(f"{p:.2g}" for p in params)
+        return f"[{name}({pstr})]"
+    return f"[{name}]"
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 2000) -> str:
+    """Render *circuit* as one text line per qubit."""
+    lines: List[List[str]] = [
+        [f"q{q}: "] for q in range(circuit.num_qubits)
+    ]
+    # Left-pad qubit labels to equal width.
+    label_width = max(len(line[0]) for line in lines)
+    for line in lines:
+        line[0] = line[0].rjust(label_width)
+
+    for inst in circuit:
+        if inst.name == "barrier":
+            width = 3
+            for q in range(circuit.num_qubits):
+                symbol = "-|-" if q in inst.qubits else "-" * width
+                lines[q].append(symbol)
+            continue
+        if len(inst.qubits) == 1:
+            label = _gate_label(inst.name, inst.params)
+            width = len(label) + 2
+            target = inst.qubits[0]
+            for q in range(circuit.num_qubits):
+                if q == target:
+                    lines[q].append(f"-{label}-")
+                else:
+                    lines[q].append("-" * width)
+            continue
+        # Multi-qubit gate: control dots + target box, vertical extent
+        # implied by the shared column.
+        if inst.name == "cx":
+            symbols = {inst.qubits[0]: "-*-",
+                       inst.qubits[1]: "[X]"}
+        elif inst.name == "cz":
+            symbols = {inst.qubits[0]: "-*-", inst.qubits[1]: "-*-"}
+        elif inst.name == "swap":
+            symbols = {inst.qubits[0]: "-x-", inst.qubits[1]: "-x-"}
+        else:
+            label = _gate_label(inst.name, inst.params)
+            symbols = {}
+            for pos, q in enumerate(inst.qubits):
+                symbols[q] = label if pos == len(inst.qubits) - 1 \
+                    else "-*-"
+        width = max(len(s) for s in symbols.values()) + 2
+        lo, hi = min(inst.qubits), max(inst.qubits)
+        for q in range(circuit.num_qubits):
+            if q in symbols:
+                s = symbols[q]
+                pad = width - len(s)
+                lines[q].append("-" * (pad // 2) + s
+                                + "-" * (pad - pad // 2))
+            elif lo < q < hi:
+                mid = "|"
+                lines[q].append(
+                    "-" * ((width - 1) // 2) + mid
+                    + "-" * (width - 1 - (width - 1) // 2))
+            else:
+                lines[q].append("-" * width)
+
+    rendered = ["".join(parts) for parts in lines]
+    return "\n".join(
+        line if len(line) <= max_width else line[:max_width - 3] + "..."
+        for line in rendered
+    )

@@ -1,0 +1,175 @@
+"""Circuit constructors: common states, QFT, and random circuits."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "ghz_circuit",
+    "bell_pair",
+    "qft_circuit",
+    "random_circuit",
+    "w_state_circuit",
+    "bernstein_vazirani_circuit",
+    "deutsch_jozsa_circuit",
+    "quantum_volume_circuit",
+]
+
+
+def bell_pair() -> QuantumCircuit:
+    """The 2-qubit Bell state preparation |00> + |11>."""
+    qc = QuantumCircuit(2, name="bell_pair")
+    qc.h(0).cx(0, 1)
+    return qc
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation on *num_qubits* qubits (linear CX chain)."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"ghz{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """W state preparation via the standard cascade construction.
+
+    Start from |10...0> and repeatedly peel amplitude ``1/sqrt(n)`` onto the
+    next qubit with a controlled-RY followed by a CX.
+    """
+    if num_qubits < 1:
+        raise ValueError("W state needs at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"w{num_qubits}")
+    qc.x(0)
+    for k in range(1, num_qubits):
+        theta = 2 * math.acos(math.sqrt(1.0 / (num_qubits - k + 1)))
+        qc.cry(theta, k - 1, k)
+        qc.cx(k, k - 1)
+    return qc
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform on *num_qubits* qubits."""
+    qc = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for target in range(num_qubits):
+        qc.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            qc.cp(angle, control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def bernstein_vazirani_circuit(secret: str) -> QuantumCircuit:
+    """Bernstein-Vazirani: one query recovers the *secret* bitstring.
+
+    Uses ``len(secret)`` data qubits plus one ancilla; the ideal
+    measurement outcome on the data qubits is exactly *secret*.
+    """
+    if not secret or any(c not in "01" for c in secret):
+        raise ValueError("secret must be a non-empty bitstring")
+    n = len(secret)
+    qc = QuantumCircuit(n + 1, name=f"bv_{secret}")
+    qc.x(n)
+    for q in range(n + 1):
+        qc.h(q)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            qc.cx(q, n)
+    for q in range(n):
+        qc.h(q)
+    return qc
+
+
+def deutsch_jozsa_circuit(num_qubits: int,
+                          balanced: bool = True) -> QuantumCircuit:
+    """Deutsch-Jozsa on *num_qubits* data qubits.
+
+    With a balanced oracle (parity of all inputs) the all-zeros outcome
+    has probability 0; with the constant oracle it has probability 1.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    n = num_qubits
+    qc = QuantumCircuit(n + 1,
+                        name=f"dj_{'bal' if balanced else 'const'}{n}")
+    qc.x(n)
+    for q in range(n + 1):
+        qc.h(q)
+    if balanced:
+        for q in range(n):
+            qc.cx(q, n)
+    for q in range(n):
+        qc.h(q)
+    return qc
+
+
+def quantum_volume_circuit(num_qubits: int, depth: Optional[int] = None,
+                           seed: Optional[int] = None) -> QuantumCircuit:
+    """Quantum-volume model circuit: layers of random SU(4) blocks.
+
+    Each layer permutes the qubits and applies a Haar-ish random
+    two-qubit block (two random 1q rotations around a CX pair) to each
+    adjacent pair of the permutation.  ``depth`` defaults to
+    ``num_qubits`` (square circuits, as the QV protocol specifies).
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum volume needs >= 2 qubits")
+    depth = depth if depth is not None else num_qubits
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"qv{num_qubits}x{depth}")
+    for _ in range(depth):
+        perm = rng.permutation(num_qubits)
+        for k in range(0, num_qubits - 1, 2):
+            a, b = int(perm[k]), int(perm[k + 1])
+            for q in (a, b):
+                qc.u(float(rng.uniform(0, math.pi)),
+                     float(rng.uniform(0, 2 * math.pi)),
+                     float(rng.uniform(0, 2 * math.pi)), q)
+            qc.cx(a, b)
+            for q in (a, b):
+                qc.u(float(rng.uniform(0, math.pi)),
+                     float(rng.uniform(0, 2 * math.pi)),
+                     float(rng.uniform(0, 2 * math.pi)), q)
+    return qc
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    twoq_prob: float = 0.4,
+    oneq_gates: Sequence[str] = ("h", "x", "rz", "sx", "t"),
+) -> QuantumCircuit:
+    """Random circuit: each layer fills qubits with 1q gates or CX pairs.
+
+    Deterministic for a given *seed*; used by tests and fuzz benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"random{num_qubits}x{depth}")
+    for _ in range(depth):
+        free = list(range(num_qubits))
+        rng.shuffle(free)
+        while free:
+            if len(free) >= 2 and rng.random() < twoq_prob:
+                a = free.pop()
+                b = free.pop()
+                qc.cx(a, b)
+            else:
+                q = free.pop()
+                name = str(rng.choice(list(oneq_gates)))
+                if name == "rz":
+                    qc.rz(float(rng.uniform(0, 2 * math.pi)), q)
+                else:
+                    getattr(qc, name)(q)
+    return qc

@@ -1,0 +1,144 @@
+"""Symbolic circuit parameters.
+
+A :class:`Parameter` is a named placeholder usable anywhere a gate angle
+is expected; :class:`ParameterExpression` supports the affine arithmetic
+(``2 * theta + 0.5``, ``-theta``) variational workflows need.  A circuit
+containing parameters cannot be simulated until
+:meth:`~repro.circuits.circuit.QuantumCircuit.bind_parameters` replaces
+them with floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set, Union
+
+__all__ = ["Parameter", "ParameterExpression", "UnboundParameterError"]
+
+Number = Union[int, float]
+
+
+class UnboundParameterError(TypeError):
+    """Raised when an operation needs a numeric value but found symbols."""
+
+
+class ParameterExpression:
+    """An affine combination of parameters: ``sum(coeff_i * p_i) + const``."""
+
+    def __init__(self, terms: Mapping["Parameter", float],
+                 constant: float = 0.0) -> None:
+        self._terms: Dict[Parameter, float] = {
+            p: float(c) for p, c in terms.items() if c != 0.0
+        }
+        self._constant = float(constant)
+
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> Set["Parameter"]:
+        """The free parameters of the expression."""
+        return set(self._terms)
+
+    def bind(self, values: Mapping["Parameter", float]
+             ) -> Union["ParameterExpression", float]:
+        """Substitute values; returns a float when fully bound."""
+        remaining: Dict[Parameter, float] = {}
+        constant = self._constant
+        for param, coeff in self._terms.items():
+            if param in values:
+                constant += coeff * float(values[param])
+            else:
+                remaining[param] = coeff
+        if not remaining:
+            return constant
+        return ParameterExpression(remaining, constant)
+
+    def value(self) -> float:
+        """Numeric value; raises if parameters remain."""
+        if self._terms:
+            names = ", ".join(sorted(p.name for p in self._terms))
+            raise UnboundParameterError(
+                f"expression still contains parameters: {names}")
+        return self._constant
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _combined(self, other: Union["ParameterExpression", Number],
+                  sign: float) -> "ParameterExpression":
+        terms = dict(self._terms)
+        constant = self._constant
+        if isinstance(other, ParameterExpression):
+            for p, c in other._terms.items():
+                terms[p] = terms.get(p, 0.0) + sign * c
+            constant += sign * other._constant
+        else:
+            constant += sign * float(other)
+        return ParameterExpression(terms, constant)
+
+    def __add__(self, other):
+        return self._combined(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._combined(other, -1.0)
+
+    def __rsub__(self, other):
+        return (-self)._combined(other, 1.0)
+
+    def __neg__(self):
+        return ParameterExpression(
+            {p: -c for p, c in self._terms.items()}, -self._constant)
+
+    def __mul__(self, factor: Number):
+        if isinstance(factor, ParameterExpression):
+            raise TypeError("parameter expressions are affine only")
+        return ParameterExpression(
+            {p: c * float(factor) for p, c in self._terms.items()},
+            self._constant * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor: Number):
+        return self * (1.0 / float(factor))
+
+    def __float__(self) -> float:
+        return self.value()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return not self._terms and self._constant == other
+        if not isinstance(other, ParameterExpression):
+            return NotImplemented
+        return (self._terms == other._terms
+                and self._constant == other._constant)
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._terms.items()), self._constant))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{c:g}*{p.name}" for p, c in sorted(
+                self._terms.items(), key=lambda pc: pc[0].name)
+        ]
+        if self._constant or not parts:
+            parts.append(f"{self._constant:g}")
+        return " + ".join(parts)
+
+
+class Parameter(ParameterExpression):
+    """A named symbolic parameter."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("parameter needs a name")
+        self.name = name
+        super().__init__({self: 1.0})
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name})"

@@ -1,0 +1,199 @@
+"""OpenQASM 2.0 subset parser and writer.
+
+Supports the subset needed for the RevLib/QASMBench-style benchmarks used in
+the paper: ``qreg``/``creg`` declarations, the standard ``qelib1`` gates,
+``measure``, and ``barrier``.  Expressions in gate parameters may use ``pi``,
+the four arithmetic operators, unary minus, and parentheses.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import gate
+
+__all__ = ["parse_qasm", "to_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input."""
+
+
+_TOKEN_RE = re.compile(r"(//[^\n]*)|(/\*.*?\*/)", re.DOTALL)
+
+
+def _strip_comments(text: str) -> str:
+    return _TOKEN_RE.sub("", text)
+
+
+_ALLOWED_AST_NODES = (
+    ast.Expression, ast.BinOp, ast.UnaryOp, ast.Constant, ast.Name,
+    ast.Load, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.USub, ast.UAdd,
+    ast.Pow,
+)
+
+
+def _eval_param(expr: str) -> float:
+    """Safely evaluate a QASM parameter expression (pi arithmetic only)."""
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {expr!r}") from exc
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_AST_NODES):
+            raise QasmError(f"disallowed token in parameter {expr!r}")
+        if isinstance(node, ast.Name) and node.id != "pi":
+            raise QasmError(f"unknown symbol {node.id!r} in {expr!r}")
+    return float(eval(  # noqa: S307 - AST-validated arithmetic only
+        compile(tree, "<qasm>", "eval"), {"__builtins__": {}}, {"pi": math.pi}
+    ))
+
+
+_DECL_RE = re.compile(r"^(qreg|creg)\s+([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+([A-Za-z_]\w*)\s*(?:\[\s*(\d+)\s*\])?\s*->\s*"
+    r"([A-Za-z_]\w*)\s*(?:\[\s*(\d+)\s*\])?$"
+)
+_GATE_RE = re.compile(r"^([A-Za-z_]\w*)\s*(?:\(([^)]*)\))?\s+(.+)$")
+_ARG_RE = re.compile(r"^([A-Za-z_]\w*)\s*(?:\[\s*(\d+)\s*\])?$")
+
+# qelib1 aliases to our IR names.
+_NAME_ALIASES = {"cnot": "cx", "toffoli": "ccx", "fredkin": "cswap"}
+
+
+def parse_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`.
+
+    Registers are flattened in declaration order into a single qubit
+    (clbit) index space, as mainstream compilers do.
+    """
+    text = _strip_comments(text)
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+    cregs: Dict[str, Tuple[int, int]] = {}
+    body: List[str] = []
+    nq = nc = 0
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        m = _DECL_RE.match(stmt)
+        if m:
+            kind, reg, size_s = m.groups()
+            size = int(size_s)
+            if kind == "qreg":
+                if reg in qregs:
+                    raise QasmError(f"duplicate qreg {reg!r}")
+                qregs[reg] = (nq, size)
+                nq += size
+            else:
+                if reg in cregs:
+                    raise QasmError(f"duplicate creg {reg!r}")
+                cregs[reg] = (nc, size)
+                nc += size
+            continue
+        body.append(stmt)
+
+    qc = QuantumCircuit(nq, nc, name=name)
+
+    def qubit_index(reg: str, idx: str | None) -> List[int]:
+        if reg not in qregs:
+            raise QasmError(f"unknown qreg {reg!r}")
+        offset, size = qregs[reg]
+        if idx is None:
+            return list(range(offset, offset + size))
+        i = int(idx)
+        if i >= size:
+            raise QasmError(f"index {i} out of range for qreg {reg!r}")
+        return [offset + i]
+
+    def clbit_index(reg: str, idx: str | None) -> List[int]:
+        if reg not in cregs:
+            raise QasmError(f"unknown creg {reg!r}")
+        offset, size = cregs[reg]
+        if idx is None:
+            return list(range(offset, offset + size))
+        i = int(idx)
+        if i >= size:
+            raise QasmError(f"index {i} out of range for creg {reg!r}")
+        return [offset + i]
+
+    for stmt in body:
+        m = _MEASURE_RE.match(stmt)
+        if m:
+            qreg, qidx, creg, cidx = m.groups()
+            qs = qubit_index(qreg, qidx)
+            cs = clbit_index(creg, cidx)
+            if len(qs) != len(cs):
+                raise QasmError(f"measure width mismatch in {stmt!r}")
+            for q, c in zip(qs, cs):
+                qc.measure(q, c)
+            continue
+        m = _GATE_RE.match(stmt)
+        if not m:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        gname, params_s, args_s = m.groups()
+        gname = _NAME_ALIASES.get(gname.lower(), gname.lower())
+        params = tuple(
+            _eval_param(p.strip()) for p in params_s.split(",")
+        ) if params_s else ()
+        arg_groups: List[List[int]] = []
+        for arg in args_s.split(","):
+            am = _ARG_RE.match(arg.strip())
+            if not am:
+                raise QasmError(f"bad argument {arg!r} in {stmt!r}")
+            arg_groups.append(qubit_index(am.group(1), am.group(2)))
+        if gname == "barrier":
+            qs = [q for group in arg_groups for q in group]
+            qc.barrier(*qs)
+            continue
+        if gname == "reset":
+            for group in arg_groups:
+                for q in group:
+                    qc.reset(q)
+            continue
+        # Broadcast register-wide application (e.g. "h q;").
+        widths = {len(g) for g in arg_groups}
+        if widths == {1}:
+            qc.append(gate(gname, *params), [g[0] for g in arg_groups])
+        else:
+            span = max(widths)
+            for k in range(span):
+                qs = [g[k] if len(g) > 1 else g[0] for g in arg_groups]
+                qc.append(gate(gname, *params), qs)
+    return qc
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text (single q/c registers)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit:
+        if inst.name == "measure":
+            lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
+            continue
+        if inst.name == "barrier":
+            args = ",".join(f"q[{q}]" for q in inst.qubits)
+            lines.append(f"barrier {args};")
+            continue
+        if inst.name == "reset":
+            lines.append(f"reset q[{inst.qubits[0]}];")
+            continue
+        if inst.name == "delay":
+            # Delays are scheduler artefacts; QASM 2 has no delay, skip.
+            continue
+        name = "id" if inst.name == "id" else inst.name
+        if inst.params:
+            pstr = ",".join(repr(p) for p in inst.params)
+            name = f"{name}({pstr})"
+        args = ",".join(f"q[{q}]" for q in inst.qubits)
+        lines.append(f"{name} {args};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,77 @@
+"""The paper's contribution: QuCP crosstalk-aware parallel workload
+execution, its baselines (QuMC, CNA, MultiQC, QuCloud), the fidelity
+metrics, and the threshold scheduler."""
+
+from .cna import (
+    CnaCompilation,
+    cna_allocate,
+    cna_compile,
+    cna_transpile_for_partition,
+)
+from .executor import ExecutionOutcome, execute_allocation
+from .metrics import (
+    estimated_fidelity_score,
+    hardware_throughput,
+    jensen_shannon_divergence,
+    kl_divergence,
+    normalize_distribution,
+    pst,
+)
+from .multiqc import multiqc_allocate
+from .partition import (
+    PartitionCandidate,
+    crosstalk_suspect_pairs,
+    grow_partition_candidates,
+)
+from .qucloud import fidelity_degree, qucloud_allocate
+from .qucp import (
+    DEFAULT_SIGMA,
+    AllocationResult,
+    ProgramAllocation,
+    qucp_allocate,
+)
+from .qumc import oracle_characterization, qumc_allocate
+from .queueing import (
+    JobSpec,
+    QueueReport,
+    batched_speedup,
+    simulate_fifo_queue,
+)
+from .scheduler import OnlineScheduler, ScheduleOutcome, SubmittedProgram
+from .threshold import ThresholdDecision, select_parallel_count
+
+__all__ = [
+    "DEFAULT_SIGMA",
+    "AllocationResult",
+    "ExecutionOutcome",
+    "PartitionCandidate",
+    "ProgramAllocation",
+    "JobSpec",
+    "OnlineScheduler",
+    "QueueReport",
+    "ScheduleOutcome",
+    "SubmittedProgram",
+    "ThresholdDecision",
+    "CnaCompilation",
+    "cna_allocate",
+    "cna_compile",
+    "cna_transpile_for_partition",
+    "crosstalk_suspect_pairs",
+    "estimated_fidelity_score",
+    "execute_allocation",
+    "fidelity_degree",
+    "grow_partition_candidates",
+    "hardware_throughput",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+    "multiqc_allocate",
+    "normalize_distribution",
+    "oracle_characterization",
+    "pst",
+    "qucloud_allocate",
+    "qucp_allocate",
+    "qumc_allocate",
+    "batched_speedup",
+    "select_parallel_count",
+    "simulate_fifo_queue",
+]

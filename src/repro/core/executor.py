@@ -1,0 +1,88 @@
+"""End-to-end parallel workload execution: allocate -> transpile -> run
+-> score.
+
+Ties together the allocator output, the per-partition transpiler, the
+crosstalk-aware simulator, and the PST/JSD metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.devices import Device
+from ..sim.density_matrix import SimulationResult
+from ..sim.executor import Program, run_parallel
+from ..sim.statevector import ideal_probabilities
+from ..transpiler.transpile import TranspileResult, transpile_for_partition
+from .metrics import jensen_shannon_divergence, pst
+from .qucp import AllocationResult, ProgramAllocation
+
+__all__ = ["ExecutionOutcome", "execute_allocation", "TranspilerFn"]
+
+#: Hook: (logical circuit, device, allocation) -> TranspileResult.
+TranspilerFn = Callable[[QuantumCircuit, Device, ProgramAllocation],
+                        TranspileResult]
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of one program inside a parallel job."""
+
+    allocation: ProgramAllocation
+    transpiled: TranspileResult
+    result: SimulationResult
+    ideal: Dict[str, float]
+
+    def pst(self) -> float:
+        """PST against the most likely ideal outcome (Eq. 2)."""
+        expected = max(self.ideal, key=self.ideal.get)
+        return pst(self.result.probabilities, expected)
+
+    def jsd(self) -> float:
+        """JSD between measured and ideal distributions (Eq. 3)."""
+        return jensen_shannon_divergence(self.result.probabilities,
+                                         self.ideal)
+
+
+def _default_transpiler(circuit: QuantumCircuit, device: Device,
+                        allocation: ProgramAllocation) -> TranspileResult:
+    return transpile_for_partition(circuit, device, allocation.partition,
+                                   optimization_level=3, schedule=True)
+
+
+def execute_allocation(
+    allocation_result: AllocationResult,
+    shots: int = 8192,
+    seed: Optional[int] = None,
+    scheduling: str = "alap",
+    transpiler_fn: Optional[TranspilerFn] = None,
+    include_crosstalk: bool = True,
+) -> List[ExecutionOutcome]:
+    """Run every allocated program simultaneously; outcomes in input order.
+
+    Each logical circuit must contain measurements (the metrics compare
+    measured distributions).
+    """
+    transpiler_fn = transpiler_fn or _default_transpiler
+    device = allocation_result.device
+    ordered = sorted(allocation_result.allocations, key=lambda a: a.index)
+    transpiled: List[TranspileResult] = []
+    programs: List[Program] = []
+    for alloc in ordered:
+        if not any(i.name == "measure" for i in alloc.circuit):
+            raise ValueError(
+                f"program {alloc.index} has no measurements; metrics need "
+                "measured outputs")
+        tr = transpiler_fn(alloc.circuit, device, alloc)
+        transpiled.append(tr)
+        programs.append(Program(tr.circuit, alloc.partition))
+    results = run_parallel(programs, device, shots=shots, seed=seed,
+                           scheduling=scheduling,
+                           include_crosstalk=include_crosstalk)
+    outcomes: List[ExecutionOutcome] = []
+    for alloc, tr, res in zip(ordered, transpiled, results):
+        ideal = ideal_probabilities(alloc.circuit)
+        outcomes.append(ExecutionOutcome(alloc, tr, res, ideal))
+    return outcomes

@@ -1,0 +1,45 @@
+"""MultiQC baseline (Das et al., MICRO'19) — reliability-only partitioning.
+
+The original multi-programming proposal: Fair and Reliable Partitioning
+allocates each program a connected region of reliable qubits, balancing
+link quality and connectivity, with **no crosstalk modelling at all**.
+Scored here as EFS with sigma = 1 minus a connectivity bonus (denser
+regions need fewer SWAPs, which was FRP's key observation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.devices import Device
+from ..hardware.topology import Edge
+from .metrics import estimated_fidelity_score
+from .partition import PartitionCandidate
+from .qucp import AllocationResult, ScoreFn, allocate_greedy
+
+__all__ = ["multiqc_allocate"]
+
+#: EFS discount per internal link beyond a spanning tree (connectivity
+#: bonus weight, tuned so it breaks ties without dominating error terms).
+_CONNECTIVITY_WEIGHT = 0.005
+
+
+def multiqc_allocate(
+    circuits: Sequence[QuantumCircuit],
+    device: Device,
+) -> AllocationResult:
+    """Allocate partitions with the MultiQC (FRP-style) policy."""
+
+    def factory(allocated: List[Tuple[int, ...]]) -> ScoreFn:
+        def score(cand: PartitionCandidate, suspects: Tuple[Edge, ...],
+                  n2q: int, n1q: int) -> float:
+            efs = estimated_fidelity_score(
+                cand.qubits, device.coupling, device.calibration,
+                n2q, n1q)
+            edges = device.coupling.subgraph_edges(cand.qubits)
+            extra_links = max(0, len(edges) - (len(cand.qubits) - 1))
+            return efs - _CONNECTIVITY_WEIGHT * extra_links
+        return score
+
+    return allocate_greedy(circuits, device, factory, method="multiqc")

@@ -1,0 +1,56 @@
+"""QuCloud-style baseline (Liu & Dou) — fidelity-degree partitioning.
+
+QuCloud's CDAP allocator ranks physical qubits by *fidelity degree* — a
+blend of connectivity and gate/readout quality — and grows partitions
+around the best-ranked qubits.  Crosstalk is not modelled during
+partitioning (QuCloud's inter-program SWAP sharing, which the paper notes
+can *introduce* crosstalk, is out of scope for the fidelity comparison).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.devices import Device
+from ..hardware.topology import Edge
+from .metrics import estimated_fidelity_score
+from .partition import PartitionCandidate
+from .qucp import AllocationResult, ScoreFn, allocate_greedy
+
+__all__ = ["qucloud_allocate", "fidelity_degree"]
+
+
+def fidelity_degree(device: Device, qubit: int) -> float:
+    """Connectivity x quality rank of a physical qubit (higher = better)."""
+    neighbors = device.coupling.neighbors(qubit)
+    if not neighbors:
+        return 0.0
+    link_fid = sum(
+        1.0 - device.calibration.cx_error(qubit, nb) for nb in neighbors)
+    readout_fid = 1.0 - device.calibration.readout_error_avg(qubit)
+    return link_fid * readout_fid
+
+
+def qucloud_allocate(
+    circuits: Sequence[QuantumCircuit],
+    device: Device,
+) -> AllocationResult:
+    """Allocate partitions with the QuCloud (CDAP-style) policy."""
+    degree_sum_scale = max(
+        fidelity_degree(device, q) for q in range(device.num_qubits))
+
+    def factory(allocated: List[Tuple[int, ...]]) -> ScoreFn:
+        def score(cand: PartitionCandidate, suspects: Tuple[Edge, ...],
+                  n2q: int, n1q: int) -> float:
+            efs = estimated_fidelity_score(
+                cand.qubits, device.coupling, device.calibration,
+                n2q, n1q)
+            degree_bonus = sum(
+                fidelity_degree(device, q) for q in cand.qubits
+            ) / (degree_sum_scale * len(cand.qubits))
+            # Higher fidelity degree lowers the score (better candidate).
+            return efs - 0.01 * degree_bonus
+        return score
+
+    return allocate_greedy(circuits, device, factory, method="qucloud")

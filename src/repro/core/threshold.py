@@ -1,0 +1,111 @@
+"""Fidelity-threshold scheduling (paper Sec. IV-B).
+
+How many copies of a circuit should run simultaneously?  QuCP estimates,
+via EFS, how much worse the k-th copy's best available partition is than
+the best partition on the idle chip, and admits copies while that
+relative degradation stays within a user-chosen **fidelity threshold**.
+
+Threshold 0 admits exactly one copy (the best region is unique); larger
+thresholds trade fidelity for throughput — the trade-off the paper's
+Fig. 4 maps out on IBM Q 65 Manhattan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.devices import Device
+from .metrics import estimated_fidelity_score
+from .partition import crosstalk_suspect_pairs, grow_partition_candidates
+from .qucp import (
+    DEFAULT_SIGMA,
+    AllocationResult,
+    ProgramAllocation,
+)
+
+__all__ = ["ThresholdDecision", "select_parallel_count"]
+
+
+@dataclass
+class ThresholdDecision:
+    """Outcome of the threshold scheduler for one circuit."""
+
+    threshold: float
+    num_parallel: int
+    allocation: AllocationResult
+    efs_per_copy: Tuple[float, ...]
+
+    @property
+    def throughput(self) -> float:
+        """Hardware throughput of the admitted copies."""
+        return self.allocation.throughput()
+
+    def relative_degradation(self, k: int) -> float:
+        """(EFS_k - EFS_1) / EFS_1 for the k-th admitted copy (1-based)."""
+        base = self.efs_per_copy[0]
+        return (self.efs_per_copy[k - 1] - base) / base if base > 0 else 0.0
+
+
+def select_parallel_count(
+    circuit: QuantumCircuit,
+    device: Device,
+    threshold: float,
+    max_copies: int = 6,
+    sigma: float = DEFAULT_SIGMA,
+) -> ThresholdDecision:
+    """Admit up to *max_copies* copies while EFS degradation <= threshold.
+
+    Copies are placed one at a time with QuCP scoring; the k-th copy is
+    admitted iff ``(EFS_k - EFS_1)/EFS_1 <= threshold``.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    n2q = circuit.num_twoq_gates()
+    n1q = circuit.size() - n2q
+    size = circuit.num_qubits
+
+    result = AllocationResult(method=f"qucp-threshold({threshold:g})",
+                              device=device)
+    allocated_qubits: List[int] = []
+    allocated_parts: List[Tuple[int, ...]] = []
+    efs_series: List[float] = []
+    base_efs: Optional[float] = None
+
+    for k in range(max_copies):
+        candidates = grow_partition_candidates(
+            size, device.coupling, device.calibration,
+            allocated=allocated_qubits)
+        if not candidates:
+            break
+        best = None
+        for cand in candidates:
+            suspects = crosstalk_suspect_pairs(
+                cand.qubits, device.coupling, allocated_parts)
+            efs = estimated_fidelity_score(
+                cand.qubits, device.coupling, device.calibration,
+                n2q, n1q, crosstalk_pairs=suspects, sigma=sigma)
+            if best is None or efs < best[0]:
+                best = (efs, cand, suspects)
+        assert best is not None
+        efs, cand, suspects = best
+        if base_efs is None:
+            base_efs = efs
+        else:
+            degradation = (efs - base_efs) / base_efs if base_efs > 0 else 0.0
+            if degradation > threshold:
+                break
+        result.allocations.append(
+            ProgramAllocation(k, circuit.copy(), cand.qubits, efs,
+                              suspects))
+        allocated_qubits.extend(cand.qubits)
+        allocated_parts.append(cand.qubits)
+        efs_series.append(efs)
+
+    return ThresholdDecision(
+        threshold=threshold,
+        num_parallel=len(result.allocations),
+        allocation=result,
+        efs_per_copy=tuple(efs_series),
+    )

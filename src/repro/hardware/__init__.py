@@ -1,0 +1,30 @@
+"""Hardware substrate: topologies, calibration snapshots, crosstalk
+ground truth, and the synthetic IBM-style devices used by the paper."""
+
+from .calibration import Calibration, generate_calibration
+from .crosstalk import CrosstalkModel, generate_crosstalk_model
+from .devices import (
+    Device,
+    ibm_manhattan,
+    ibm_melbourne,
+    ibm_toronto,
+    linear_device,
+)
+from .topology import CouplingMap, Edge
+from .visualize import render_device, render_partitions
+
+__all__ = [
+    "Calibration",
+    "CouplingMap",
+    "CrosstalkModel",
+    "Device",
+    "Edge",
+    "generate_calibration",
+    "generate_crosstalk_model",
+    "ibm_manhattan",
+    "ibm_melbourne",
+    "ibm_toronto",
+    "linear_device",
+    "render_device",
+    "render_partitions",
+]

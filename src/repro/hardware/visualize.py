@@ -1,0 +1,87 @@
+"""ASCII rendering of device topologies with partition overlays.
+
+Examples and benches use this to show where QuCP placed each program —
+the textual analogue of the paper's Fig. 1 chip diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from .devices import Device
+from .topology import CouplingMap
+
+__all__ = ["render_device", "render_partitions"]
+
+#: Grid coordinates (row, col) for the chips' published floor plans.
+_MELBOURNE_POS = {q: (0, 2 * q) for q in range(7)}
+_MELBOURNE_POS.update({7 + k: (2, 12 - 2 * k) for k in range(8)})
+
+_TORONTO_POS = {
+    0: (0, 2), 1: (0, 4), 2: (0, 6), 3: (0, 8), 4: (1, 4), 5: (0, 10),
+    6: (2, 2), 7: (2, 4), 8: (1, 10), 9: (0, 12), 10: (3, 4),
+    11: (2, 10), 12: (4, 4), 13: (4, 8), 14: (3, 10), 15: (4, 2),
+    16: (4, 10), 17: (6, 6), 18: (5, 2), 19: (5, 10), 20: (4, 12),
+    21: (6, 2), 22: (6, 10), 23: (7, 4), 24: (8, 6), 25: (7, 10),
+    26: (8, 12),
+}
+
+
+def _positions_for(coupling: CouplingMap) -> Dict[int, Tuple[int, int]]:
+    if coupling.num_qubits == 15:
+        return dict(_MELBOURNE_POS)
+    if coupling.num_qubits == 27:
+        return dict(_TORONTO_POS)
+    # Generic fallback: wrap qubits into rows of 10.
+    return {
+        q: (2 * (q // 10), 2 * (q % 10))
+        for q in range(coupling.num_qubits)
+    }
+
+
+def render_device(device: Device,
+                  highlight: Sequence[int] = ()) -> str:
+    """Render the device grid, bracketing highlighted qubits."""
+    return render_partitions(device, [tuple(highlight)] if highlight
+                             else [])
+
+
+def render_partitions(device: Device,
+                      partitions: Sequence[Tuple[int, ...]]) -> str:
+    """Render the device with one marker letter per partition.
+
+    Partition 0's qubits render as ``[q]A``, partition 1's as ``[q]B``,
+    etc.; unallocated qubits render bare.
+    """
+    positions = _positions_for(device.coupling)
+    owner: Dict[int, str] = {}
+    for index, part in enumerate(partitions):
+        letter = chr(ord("A") + index % 26)
+        for q in part:
+            owner[q] = letter
+
+    max_row = max(r for r, _ in positions.values())
+    max_col = max(c for _, c in positions.values())
+    cell = 6
+    grid = [
+        [" " * cell for _ in range(max_col + 1)]
+        for _ in range(max_row + 1)
+    ]
+    for q, (r, c) in positions.items():
+        if q in owner:
+            label = f"[{q:>2}]{owner[q]}"
+        else:
+            label = f" {q:>2}   "
+        grid[r][c] = label.ljust(cell)
+
+    lines = ["".join(row).rstrip() for row in grid]
+    legend = ", ".join(
+        f"{chr(ord('A') + i % 26)}={tuple(part)}"
+        for i, part in enumerate(partitions)
+    )
+    header = f"{device.name} ({device.num_qubits} qubits)"
+    out = [header]
+    if legend:
+        out.append(f"partitions: {legend}")
+    out.extend(line for line in lines if line.strip())
+    return "\n".join(out)

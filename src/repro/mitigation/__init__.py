@@ -1,0 +1,35 @@
+"""Quantum error mitigation: digital zero-noise extrapolation with
+unitary folding and Mitiq-style extrapolation factories (Sec. IV-D)."""
+
+from .factories import (
+    ExpFactory,
+    LinearFactory,
+    PolyFactory,
+    RichardsonFactory,
+    all_factories,
+)
+from .measurement import ReadoutMitigator, calibrate_readout
+from .folding import fold_gates_at_random, fold_global, folded_scale_factors
+from .zne import (
+    ZNEComparison,
+    parity_expectation,
+    run_zne_comparison,
+    zero_noise_estimate,
+)
+
+__all__ = [
+    "ExpFactory",
+    "LinearFactory",
+    "PolyFactory",
+    "ReadoutMitigator",
+    "RichardsonFactory",
+    "ZNEComparison",
+    "all_factories",
+    "calibrate_readout",
+    "fold_gates_at_random",
+    "fold_global",
+    "folded_scale_factors",
+    "parity_expectation",
+    "run_zne_comparison",
+    "zero_noise_estimate",
+]

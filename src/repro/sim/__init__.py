@@ -1,0 +1,71 @@
+"""Simulators: ideal statevector, circuit unitaries, and noisy
+density-matrix evolution with calibration-driven Kraus channels."""
+
+from .channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    error_rate_to_depolarizing_param,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from .estimator import (
+    EstimationResult,
+    estimate_expectation,
+    estimate_expectation_on_device,
+)
+from .fidelity import (
+    counts_fidelity,
+    hellinger_fidelity,
+    purity,
+    state_fidelity,
+    trace_distance,
+)
+from .density_matrix import (
+    SimulationResult,
+    run_circuit,
+    simulate_density_matrix,
+)
+from .noise_model import NoiseModel
+from .readout import apply_readout_confusion, counts_to_probs, sample_counts
+from .statevector import ideal_counts, ideal_probabilities, simulate_statevector
+from .unitary import basis_index, bitstring_of, circuit_unitary, embed_gate
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "EstimationResult",
+    "SimulationResult",
+    "amplitude_damping_channel",
+    "apply_readout_confusion",
+    "basis_index",
+    "bit_flip_channel",
+    "bitstring_of",
+    "circuit_unitary",
+    "counts_fidelity",
+    "counts_to_probs",
+    "depolarizing_channel",
+    "embed_gate",
+    "estimate_expectation",
+    "estimate_expectation_on_device",
+    "error_rate_to_depolarizing_param",
+    "ideal_counts",
+    "ideal_probabilities",
+    "hellinger_fidelity",
+    "identity_channel",
+    "pauli_channel",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "purity",
+    "run_circuit",
+    "sample_counts",
+    "simulate_density_matrix",
+    "simulate_statevector",
+    "state_fidelity",
+    "trace_distance",
+    "thermal_relaxation_channel",
+]

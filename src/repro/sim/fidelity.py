@@ -1,0 +1,100 @@
+"""State-comparison utilities: fidelity, trace distance, purity,
+Hellinger distance between distributions."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+import scipy.linalg
+
+__all__ = [
+    "state_fidelity",
+    "trace_distance",
+    "purity",
+    "hellinger_fidelity",
+    "counts_fidelity",
+]
+
+
+def _as_density(state: np.ndarray) -> np.ndarray:
+    state = np.asarray(state, dtype=complex)
+    if state.ndim == 1:
+        return np.outer(state, state.conj())
+    if state.ndim == 2 and state.shape[0] == state.shape[1]:
+        return state
+    raise ValueError("expected a statevector or a square density matrix")
+
+
+def state_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Uhlmann fidelity F(a, b) in [0, 1] (1 iff identical states).
+
+    Accepts statevectors or density matrices in any combination; pure
+    inputs use the cheap overlap formulas.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.ndim == 1 and b.ndim == 1:
+        if a.shape != b.shape:
+            raise ValueError("dimension mismatch")
+        return float(min(abs(np.vdot(a, b)) ** 2, 1.0))
+    if a.ndim == 1 or b.ndim == 1:
+        psi = a if a.ndim == 1 else b
+        rho = _as_density(b if a.ndim == 1 else a)
+        if rho.shape[0] != psi.size:
+            raise ValueError("dimension mismatch")
+        return float(min(np.real(psi.conj() @ rho @ psi), 1.0))
+    rho = _as_density(a)
+    sigma = _as_density(b)
+    if rho.shape != sigma.shape:
+        raise ValueError("dimension mismatch")
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # sqrtm warns on rank deficiency
+        sqrt_rho = scipy.linalg.sqrtm(rho)
+        inner = scipy.linalg.sqrtm(sqrt_rho @ sigma @ sqrt_rho)
+    value = float(np.real(np.trace(inner)) ** 2)
+    return min(max(value, 0.0), 1.0)
+
+
+def trace_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Trace distance T(a, b) = 0.5 ||a - b||_1 in [0, 1]."""
+    rho = _as_density(a)
+    sigma = _as_density(b)
+    if rho.shape != sigma.shape:
+        raise ValueError("dimension mismatch")
+    eigs = np.linalg.eigvalsh(rho - sigma)
+    return float(0.5 * np.sum(np.abs(eigs)))
+
+
+def purity(state: np.ndarray) -> float:
+    """Tr(rho^2): 1 for pure states, 1/d for the maximally mixed state."""
+    rho = _as_density(state)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def hellinger_fidelity(p: Mapping[str, float],
+                       q: Mapping[str, float]) -> float:
+    """Classical fidelity ``(sum sqrt(p q))^2`` between distributions.
+
+    The standard proxy for output-state fidelity from measurement counts.
+    """
+    keys = set(p) | set(q)
+    total_p = sum(p.values())
+    total_q = sum(q.values())
+    if total_p <= 0 or total_q <= 0:
+        raise ValueError("empty distribution")
+    bc = sum(
+        math.sqrt(max(p.get(k, 0.0), 0.0) / total_p
+                  * max(q.get(k, 0.0), 0.0) / total_q)
+        for k in keys
+    )
+    return min(max(bc * bc, 0.0), 1.0)
+
+
+def counts_fidelity(counts: Mapping[str, int],
+                    ideal: Mapping[str, float]) -> float:
+    """Hellinger fidelity between raw counts and an ideal distribution."""
+    return hellinger_fidelity(dict(counts), dict(ideal))

@@ -1,0 +1,64 @@
+"""Readout-error handling: confusion matrices and shot sampling."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["apply_readout_confusion", "sample_counts", "counts_to_probs"]
+
+
+def apply_readout_confusion(
+    probs: Dict[str, float],
+    confusions: Sequence[np.ndarray],
+) -> Dict[str, float]:
+    """Apply per-bit 2x2 confusion matrices to an output distribution.
+
+    ``confusions[i]`` is the column-stochastic matrix ``M[read, true]`` for
+    the bit at string position *i*.  Applied as an independent tensor
+    product, which is the standard uncorrelated readout model.
+    """
+    if not probs:
+        return {}
+    num_bits = len(next(iter(probs)))
+    if len(confusions) != num_bits:
+        raise ValueError("one confusion matrix per measured bit required")
+    vec = np.zeros(2 ** num_bits)
+    for key, p in probs.items():
+        vec[int(key, 2)] += p
+    # Apply M_i on each bit axis of the probability tensor.
+    tens = vec.reshape((2,) * num_bits)
+    for axis, mat in enumerate(confusions):
+        tens = np.moveaxis(
+            np.tensordot(mat, tens, axes=(1, axis)), 0, axis)
+    flat = tens.reshape(-1)
+    out: Dict[str, float] = {}
+    for idx, p in enumerate(flat):
+        if p > 1e-15:
+            out[format(idx, f"0{num_bits}b")] = float(p)
+    return out
+
+
+def sample_counts(probs: Dict[str, float], shots: int,
+                  seed: Optional[int] = None) -> Dict[str, int]:
+    """Multinomial-sample *shots* outcomes from a distribution."""
+    if shots <= 0:
+        return {}
+    keys: List[str] = sorted(probs)
+    pvals = np.array([max(probs[k], 0.0) for k in keys])
+    total = pvals.sum()
+    if total <= 0:
+        raise ValueError("distribution has no probability mass")
+    pvals = pvals / total
+    rng = np.random.default_rng(seed)
+    draws = rng.multinomial(shots, pvals)
+    return {k: int(c) for k, c in zip(keys, draws) if c}
+
+
+def counts_to_probs(counts: Dict[str, int]) -> Dict[str, float]:
+    """Normalize a counts dictionary into a probability distribution."""
+    total = sum(counts.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}

@@ -1,0 +1,102 @@
+"""Ideal statevector simulation.
+
+Applies gates in-place on a tensor-reshaped state for O(2^n) per gate.
+Measurement instructions are ignored here (the statevector before
+measurement is returned); use :mod:`repro.sim.readout` or the executor for
+shot sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .unitary import bitstring_of
+
+__all__ = ["simulate_statevector", "ideal_probabilities", "ideal_counts"]
+
+
+def _apply_gate(state: np.ndarray, matrix: np.ndarray,
+                qubits: tuple, num_qubits: int) -> np.ndarray:
+    """Apply a k-qubit gate to a (2,)*n tensor state."""
+    k = len(qubits)
+    gmat = matrix.reshape((2,) * (2 * k))
+    # Contract gate column axes with the state's target axes.
+    state = np.tensordot(gmat, state, axes=(list(range(k, 2 * k)),
+                                            list(qubits)))
+    # tensordot puts the gate's row axes first; move them back.
+    return np.moveaxis(state, list(range(k)), list(qubits))
+
+
+def simulate_statevector(circuit: QuantumCircuit,
+                         initial_state: Optional[np.ndarray] = None
+                         ) -> np.ndarray:
+    """Return the final statevector of *circuit* (big-endian).
+
+    Measurements and barriers are skipped; resets are rejected (they are
+    non-unitary — use the density-matrix simulator).
+    """
+    n = circuit.num_qubits
+    if initial_state is None:
+        state = np.zeros((2,) * n, dtype=complex)
+        state[(0,) * n] = 1.0
+    else:
+        if initial_state.size != 2 ** n:
+            raise ValueError("initial state size mismatch")
+        state = np.array(initial_state, dtype=complex).reshape((2,) * n)
+    for inst in circuit:
+        if inst.name in ("measure", "barrier", "delay"):
+            continue
+        if inst.name == "reset":
+            raise ValueError("reset requires the density-matrix simulator")
+        state = _apply_gate(state, inst.gate.matrix(), inst.qubits, n)
+    return state.reshape(2 ** n)
+
+
+def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
+    """Exact output distribution over measured clbits (or all qubits).
+
+    If the circuit contains measurements, probabilities are marginalized
+    onto the measured clbits (clbit 0 is the leftmost character of the
+    key); otherwise all qubits are reported in qubit order.
+    """
+    n = circuit.num_qubits
+    amps = simulate_statevector(circuit.without_measurements())
+    probs = np.abs(amps) ** 2
+
+    measure_map = [
+        (inst.qubits[0], inst.clbits[0])
+        for inst in circuit if inst.name == "measure"
+    ]
+    if not measure_map:
+        return {
+            bitstring_of(i, n): float(p)
+            for i, p in enumerate(probs) if p > 1e-14
+        }
+    clbits = sorted({c for _, c in measure_map})
+    qubit_for_clbit = {}
+    for q, c in measure_map:
+        qubit_for_clbit[c] = q  # last measure into a clbit wins
+    out: Dict[str, float] = {}
+    for idx, p in enumerate(probs):
+        if p <= 1e-14:
+            continue
+        key = "".join(
+            str((idx >> (n - 1 - qubit_for_clbit[c])) & 1) for c in clbits
+        )
+        out[key] = out.get(key, 0.0) + float(p)
+    return out
+
+
+def ideal_counts(circuit: QuantumCircuit, shots: int,
+                 seed: Optional[int] = None) -> Dict[str, int]:
+    """Sample *shots* noiseless measurement outcomes."""
+    probs = ideal_probabilities(circuit)
+    keys = sorted(probs)
+    pvals = np.array([probs[k] for k in keys])
+    pvals = pvals / pvals.sum()
+    rng = np.random.default_rng(seed)
+    draws = rng.multinomial(shots, pvals)
+    return {k: int(c) for k, c in zip(keys, draws) if c}

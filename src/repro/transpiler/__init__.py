@@ -1,0 +1,41 @@
+"""Noise-aware transpiler: basis decomposition, HA-style initial mapping,
+reliability-weighted routing, gate optimization, ALAP scheduling."""
+
+from .dd import insert_dd_sequences
+from .basis import decompose_oneq_gate, decompose_to_basis, zyz_angles
+from .layout import Layout
+from .mapping import interaction_counts, layout_cost, noise_aware_layout
+from .optimize import cancel_adjacent_pairs, fuse_oneq_runs, optimize_circuit
+from .routing import RoutedCircuit, route_circuit
+from .sabre import sabre_route
+from .schedule import circuit_duration, schedule_alap
+from .transpile import (
+    TranspileResult,
+    partition_calibration,
+    partition_coupling,
+    transpile,
+    transpile_for_partition,
+)
+
+__all__ = [
+    "Layout",
+    "RoutedCircuit",
+    "TranspileResult",
+    "cancel_adjacent_pairs",
+    "circuit_duration",
+    "decompose_oneq_gate",
+    "decompose_to_basis",
+    "fuse_oneq_runs",
+    "insert_dd_sequences",
+    "interaction_counts",
+    "layout_cost",
+    "noise_aware_layout",
+    "optimize_circuit",
+    "partition_calibration",
+    "partition_coupling",
+    "route_circuit",
+    "sabre_route",
+    "schedule_alap",
+    "transpile",
+    "transpile_for_partition",
+]

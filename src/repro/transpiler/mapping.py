@@ -1,0 +1,175 @@
+"""Noise-aware initial mapping (the HA-style heuristic of ref. [18]).
+
+Scores candidate layouts with the calibration data: CX-error-weighted
+distance between interacting logical qubits plus the readout error of the
+chosen physical qubits.  Partitions in parallel circuit execution are
+small (3–7 qubits), so an exhaustive permutation search is affordable
+there; larger circuits fall back to a greedy interaction-driven placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.calibration import Calibration
+from ..hardware.topology import CouplingMap
+from .layout import Layout
+
+__all__ = ["interaction_counts", "layout_cost", "noise_aware_layout"]
+
+#: Above this many qubits the exhaustive permutation search is skipped.
+_EXHAUSTIVE_LIMIT = 6
+
+
+def interaction_counts(circuit: QuantumCircuit) -> Dict[Tuple[int, int], int]:
+    """Number of 2q gates per (sorted) logical qubit pair."""
+    counts: Dict[Tuple[int, int], int] = {}
+    for inst in circuit:
+        if inst.gate.is_directive or len(inst.qubits) != 2:
+            continue
+        a, b = sorted(inst.qubits)
+        counts[(a, b)] = counts.get((a, b), 0) + 1
+    return counts
+
+
+def _edge_weight(coupling: CouplingMap,
+                 calibration: Optional[Calibration],
+                 a: int, b: int) -> float:
+    """Reliability cost of using the link (a, b): -log(1 - cx_error)."""
+    if calibration is None:
+        return 1.0
+    err = min(calibration.cx_error(a, b), 0.999)
+    return -math.log(1.0 - err) + 0.01  # small constant favours few hops
+
+
+def _reliability_distance(coupling: CouplingMap,
+                          calibration: Optional[Calibration]
+                          ) -> Dict[int, Dict[int, float]]:
+    """All-pairs shortest error-weighted path lengths."""
+    import networkx as nx
+
+    weighted = nx.Graph()
+    weighted.add_nodes_from(range(coupling.num_qubits))
+    for a, b in coupling.edges:
+        weighted.add_edge(a, b,
+                          weight=_edge_weight(coupling, calibration, a, b))
+    return {
+        src: dists
+        for src, dists in nx.all_pairs_dijkstra_path_length(
+            weighted, weight="weight")
+    }
+
+
+def layout_cost(
+    layout: Layout,
+    interactions: Dict[Tuple[int, int], int],
+    rel_dist: Dict[int, Dict[int, float]],
+    calibration: Optional[Calibration],
+    measured_logicals: Sequence[int] = (),
+) -> float:
+    """Estimated error cost of a layout (lower is better)."""
+    cost = 0.0
+    for (a, b), count in interactions.items():
+        pa, pb = layout.physical(a), layout.physical(b)
+        cost += count * rel_dist[pa].get(pb, 1e9)
+    if calibration is not None:
+        for logical in measured_logicals:
+            p01, p10 = calibration.readout_error[layout.physical(logical)]
+            cost += 0.5 * (p01 + p10)
+    return cost
+
+
+def noise_aware_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: Optional[Calibration] = None,
+    seed: int = 0,
+) -> Layout:
+    """Pick an initial layout minimizing :func:`layout_cost`.
+
+    Exhaustive over physical-qubit permutations when the device is small
+    (partition transpilation), greedy interaction-first placement
+    otherwise.
+    """
+    n_logical = circuit.num_qubits
+    n_physical = coupling.num_qubits
+    if n_logical > n_physical:
+        raise ValueError(
+            f"circuit needs {n_logical} qubits, device has {n_physical}")
+    interactions = interaction_counts(circuit)
+    measured = sorted({
+        inst.qubits[0] for inst in circuit if inst.name == "measure"})
+    rel_dist = _reliability_distance(coupling, calibration)
+
+    if n_physical <= _EXHAUSTIVE_LIMIT:
+        best_layout: Optional[Layout] = None
+        best_cost = math.inf
+        for perm in itertools.permutations(range(n_physical), n_logical):
+            layout = Layout.from_sequence(perm)
+            cost = layout_cost(layout, interactions, rel_dist,
+                               calibration, measured)
+            if cost < best_cost:
+                best_cost = cost
+                best_layout = layout
+        assert best_layout is not None
+        return best_layout
+
+    return _greedy_layout(circuit, coupling, calibration, interactions,
+                          rel_dist, seed)
+
+
+def _greedy_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: Optional[Calibration],
+    interactions: Dict[Tuple[int, int], int],
+    rel_dist: Dict[int, Dict[int, float]],
+    seed: int,
+) -> Layout:
+    """Interaction-degree-first greedy placement."""
+    n_logical = circuit.num_qubits
+    degree: Dict[int, int] = {q: 0 for q in range(n_logical)}
+    for (a, b), count in interactions.items():
+        degree[a] += count
+        degree[b] += count
+    order = sorted(range(n_logical), key=lambda q: -degree[q])
+
+    def qubit_quality(p: int) -> float:
+        if calibration is None:
+            return coupling.degree(p)
+        readout = calibration.readout_error_avg(p)
+        link_err = [
+            calibration.cx_error(p, nb) for nb in coupling.neighbors(p)
+        ]
+        return -(readout + (min(link_err) if link_err else 0.5))
+
+    placed: Dict[int, int] = {}
+    used: set = set()
+    rng = np.random.default_rng(seed)
+    for logical in order:
+        partners = [
+            (other, count) for (a, b), count in interactions.items()
+            for other in ((b,) if a == logical else (a,) if b == logical
+                          else ())
+            if other in placed
+        ]
+        candidates = [p for p in range(coupling.num_qubits) if p not in used]
+        if not partners:
+            candidates.sort(key=lambda p: -qubit_quality(p))
+            placed[logical] = candidates[0]
+        else:
+            def cost_of(p: int) -> float:
+                c = sum(
+                    count * rel_dist[p].get(placed[other], 1e9)
+                    for other, count in partners
+                )
+                return c - 0.001 * qubit_quality(p)
+
+            placed[logical] = min(candidates, key=cost_of)
+        used.add(placed[logical])
+    return Layout(placed)

@@ -1,0 +1,143 @@
+"""Gate-level optimization passes.
+
+- :func:`cancel_adjacent_pairs` removes back-to-back self-inverse gates
+  (CX-CX, H-H, X-X, ...);
+- :func:`fuse_oneq_runs` collapses every maximal run of 1q gates on a
+  qubit into at most one ZXZXZ sequence (subsumes RZ merging);
+- :func:`optimize_circuit` iterates the passes to a fixpoint, gated by the
+  optimization level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from .basis import decompose_oneq_gate
+
+__all__ = ["cancel_adjacent_pairs", "fuse_oneq_runs", "optimize_circuit"]
+
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "swap", "ccx", "cswap",
+                 "id"}
+
+
+def cancel_adjacent_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent identical self-inverse gates on the same qubits.
+
+    "Adjacent" means no intervening instruction touches any of the gate's
+    qubits.
+    """
+    kept: List[Optional[Instruction]] = list(circuit.instructions)
+    last_on_qubit: Dict[int, int] = {}
+    for idx, inst in enumerate(circuit.instructions):
+        cancel_with: Optional[int] = None
+        if inst.name in _SELF_INVERSE:
+            prev_idxs = {last_on_qubit.get(q) for q in inst.qubits}
+            if len(prev_idxs) == 1:
+                prev_idx = prev_idxs.pop()
+                if prev_idx is not None and kept[prev_idx] is not None:
+                    prev = kept[prev_idx]
+                    if (prev.name == inst.name
+                            and prev.qubits == inst.qubits):
+                        cancel_with = prev_idx
+        if cancel_with is not None:
+            kept[cancel_with] = None
+            kept[idx] = None
+            # The cancelled pair no longer blocks its qubits: restore the
+            # previous frontier lazily by clearing; subsequent gates will
+            # re-scan from scratch below.
+            for q in inst.qubits:
+                last_on_qubit.pop(q, None)
+            continue
+        for q in inst.qubits:
+            last_on_qubit[q] = idx
+        for c in inst.clbits:
+            # Measures never cancel; track via impossible qubit key.
+            last_on_qubit[-1 - c] = idx
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    for inst in kept:
+        if inst is not None:
+            out._instructions.append(inst)  # noqa: SLF001
+    return out
+
+
+def fuse_oneq_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Collapse maximal 1q-gate runs per qubit into minimal basis gates.
+
+    A run is replaced by its fused ZXZXZ form only when that form is not
+    longer than the run itself (a 2-gate run can fuse into 5 basis gates,
+    which would be a pessimization).
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    pending: Dict[int, List[Instruction]] = {}
+
+    def flush(q: int) -> None:
+        run = pending.pop(q, None)
+        if not run:
+            return
+        mat = np.eye(2, dtype=complex)
+        for inst in run:
+            mat = inst.gate.matrix() @ mat
+        fused = decompose_oneq_gate(_matrix_gate(mat))
+        if len(fused) <= len(run):
+            for g in fused:
+                out.append(g, (q,))
+        else:
+            for inst in run:
+                out._instructions.append(inst)  # noqa: SLF001
+
+    for inst in circuit:
+        if (not inst.gate.is_directive and len(inst.qubits) == 1
+                and inst.name != "delay"):
+            pending.setdefault(inst.qubits[0], []).append(inst)
+            continue
+        for q in inst.qubits:
+            flush(q)
+        out._instructions.append(inst)  # noqa: SLF001
+    for q in sorted(pending):
+        flush(q)
+    return out
+
+
+class _MatrixGateShim:
+    """Minimal duck-typed gate carrying an explicit matrix."""
+
+    def __init__(self, mat: np.ndarray) -> None:
+        self._mat = mat
+        self.name = "_fused"
+        self.num_qubits = 1
+        self.params = ()
+
+    def matrix(self) -> np.ndarray:
+        return self._mat
+
+
+def _matrix_gate(mat: np.ndarray) -> "_MatrixGateShim":
+    return _MatrixGateShim(mat)
+
+
+def optimize_circuit(circuit: QuantumCircuit,
+                     optimization_level: int = 3) -> QuantumCircuit:
+    """Run the optimization pipeline for the given level.
+
+    Level 0: nothing. Level 1: pair cancellation. Level 2: + 1q-run
+    fusion. Level 3: iterate both to a fixpoint.
+    """
+    if optimization_level <= 0:
+        return circuit
+    current = cancel_adjacent_pairs(circuit)
+    if optimization_level == 1:
+        return current
+    current = fuse_oneq_runs(current)
+    if optimization_level == 2:
+        return current
+    for _ in range(10):
+        nxt = fuse_oneq_runs(cancel_adjacent_pairs(current))
+        if len(nxt) == len(current):
+            return nxt
+        current = nxt
+    return current

@@ -1,0 +1,104 @@
+"""SWAP-insertion routing.
+
+Processes instructions in order, tracking the live logical->physical
+layout.  When a 2q gate lands on non-adjacent physical qubits, SWAPs are
+inserted along the most *reliable* shortest path (error-weighted Dijkstra
+over the calibration data), moving one operand next to the other.
+
+The emitted circuit is expressed over physical qubit indices; measurements
+are remapped through the live layout at the point they occur.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.gates import Gate, gate
+from ..hardware.calibration import Calibration
+from ..hardware.topology import CouplingMap
+from .layout import Layout
+
+__all__ = ["RoutedCircuit", "route_circuit"]
+
+
+@dataclass
+class RoutedCircuit:
+    """Routing output: the physical circuit plus both layouts."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+
+
+def _reliability_graph(coupling: CouplingMap,
+                       calibration: Optional[Calibration]) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(coupling.num_qubits))
+    for a, b in coupling.edges:
+        if calibration is None:
+            weight = 1.0
+        else:
+            err = min(calibration.cx_error(a, b), 0.999)
+            weight = -math.log(1.0 - err) + 0.01
+        g.add_edge(a, b, weight=weight)
+    return g
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Layout,
+    calibration: Optional[Calibration] = None,
+) -> RoutedCircuit:
+    """Make *circuit* executable on *coupling* starting from a layout."""
+    rel = _reliability_graph(coupling, calibration)
+    layout = initial_layout.copy()
+    out = QuantumCircuit(coupling.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    num_swaps = 0
+
+    def emit_swap(p1: int, p2: int) -> None:
+        nonlocal num_swaps
+        out.cx(p1, p2)
+        out.cx(p2, p1)
+        out.cx(p1, p2)
+        layout.swap_physical(p1, p2)
+        num_swaps += 1
+
+    for inst in circuit:
+        if inst.name == "barrier":
+            phys = tuple(layout.physical(q) for q in inst.qubits)
+            out.barrier(*phys)
+            continue
+        if inst.name == "measure":
+            out.measure(layout.physical(inst.qubits[0]), inst.clbits[0])
+            continue
+        if inst.name in ("reset", "delay"):
+            phys = (layout.physical(inst.qubits[0]),)
+            out._instructions.append(  # noqa: SLF001
+                Instruction(inst.gate, phys, inst.clbits))
+            continue
+        if len(inst.qubits) == 1:
+            out.append(inst.gate, (layout.physical(inst.qubits[0]),))
+            continue
+        if len(inst.qubits) != 2:
+            raise ValueError(
+                f"route requires <=2q gates, got {inst.name!r}; decompose "
+                "first")
+        pa, pb = (layout.physical(q) for q in inst.qubits)
+        if not coupling.is_edge(pa, pb):
+            path = nx.shortest_path(rel, pa, pb, weight="weight")
+            # Walk the first operand down the path until adjacent.
+            for hop in path[1:-1]:
+                emit_swap(path[0], hop)
+                path[0] = hop
+            pa, pb = (layout.physical(q) for q in inst.qubits)
+            assert coupling.is_edge(pa, pb), "routing failed to converge"
+        out.append(inst.gate, (pa, pb))
+    return RoutedCircuit(out, initial_layout.copy(), layout, num_swaps)

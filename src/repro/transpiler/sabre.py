@@ -1,0 +1,156 @@
+"""SABRE-style lookahead routing.
+
+The basic router (:mod:`repro.transpiler.routing`) walks each blocked 2q
+gate along a shortest reliability path.  SABRE (Li, Ding, Xie; ASPLOS'19)
+instead considers every SWAP adjacent to the blocked *front layer* and
+scores it against both the front layer and a lookahead window of upcoming
+2q gates, usually saving SWAPs on congested circuits.
+
+This implementation keeps SABRE's decay-weighted two-window cost and adds
+the calibration-aware edge weights used elsewhere in this transpiler.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..hardware.calibration import Calibration
+from ..hardware.topology import CouplingMap
+from .layout import Layout
+from .routing import RoutedCircuit, _reliability_graph
+
+__all__ = ["sabre_route"]
+
+#: Weight of the lookahead window relative to the front layer.
+_LOOKAHEAD_WEIGHT = 0.5
+#: Lookahead window size (upcoming 2q gates considered).
+_LOOKAHEAD_SIZE = 20
+#: Per-use decay applied to recently swapped qubits (avoids ping-pong).
+_DECAY_STEP = 0.001
+_DECAY_RESET_INTERVAL = 5
+
+
+def _distance_table(coupling: CouplingMap,
+                    calibration: Optional[Calibration]
+                    ) -> Dict[int, Dict[int, float]]:
+    import networkx as nx
+
+    graph = _reliability_graph(coupling, calibration)
+    return {
+        src: dists for src, dists in
+        nx.all_pairs_dijkstra_path_length(graph, weight="weight")
+    }
+
+
+def sabre_route(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Layout,
+    calibration: Optional[Calibration] = None,
+) -> RoutedCircuit:
+    """Route *circuit* with lookahead SWAP selection.
+
+    Semantics identical to :func:`repro.transpiler.routing.route_circuit`
+    (physical-index output, measures remapped through the live layout).
+    """
+    dist = _distance_table(coupling, calibration)
+    layout = initial_layout.copy()
+    out = QuantumCircuit(coupling.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    num_swaps = 0
+    decay: Dict[int, float] = {}
+    steps_since_reset = 0
+
+    # Pending instruction list; index of the next instruction per qubit
+    # is implicit in order — we process sequentially but buffer blocked
+    # 2q gates through the SABRE loop.
+    instructions = list(circuit.instructions)
+    position = 0
+
+    def emit_simple(inst: Instruction) -> bool:
+        """Emit non-2q instructions; returns True when handled."""
+        if inst.name == "barrier":
+            out.barrier(*(layout.physical(q) for q in inst.qubits))
+            return True
+        if inst.name == "measure":
+            out.measure(layout.physical(inst.qubits[0]), inst.clbits[0])
+            return True
+        if inst.name in ("reset", "delay"):
+            out._instructions.append(  # noqa: SLF001
+                Instruction(inst.gate,
+                            (layout.physical(inst.qubits[0]),),
+                            inst.clbits))
+            return True
+        if len(inst.qubits) == 1:
+            out.append(inst.gate, (layout.physical(inst.qubits[0]),))
+            return True
+        if len(inst.qubits) != 2:
+            raise ValueError(
+                f"sabre_route requires <=2q gates, got {inst.name!r}")
+        return False
+
+    def upcoming_twoq(start: int, limit: int) -> List[Tuple[int, int]]:
+        window = []
+        for inst in instructions[start:]:
+            if not inst.gate.is_directive and len(inst.qubits) == 2:
+                window.append(inst.qubits)
+                if len(window) >= limit:
+                    break
+        return window
+
+    def swap_score(p1: int, p2: int, front: Sequence[Tuple[int, int]],
+                   future: Sequence[Tuple[int, int]]) -> float:
+        trial = layout.copy()
+        trial.swap_physical(p1, p2)
+
+        def cost(pairs: Sequence[Tuple[int, int]]) -> float:
+            total = 0.0
+            for a, b in pairs:
+                pa, pb = trial.physical(a), trial.physical(b)
+                total += dist[pa].get(pb, 1e9)
+            return total / max(len(pairs), 1)
+
+        score = cost(front)
+        if future:
+            score += _LOOKAHEAD_WEIGHT * cost(future)
+        score *= (1.0 + decay.get(p1, 0.0) + decay.get(p2, 0.0))
+        return score
+
+    while position < len(instructions):
+        inst = instructions[position]
+        if emit_simple(inst):
+            position += 1
+            continue
+        a, b = inst.qubits
+        pa, pb = layout.physical(a), layout.physical(b)
+        if coupling.is_edge(pa, pb):
+            out.append(inst.gate, (pa, pb))
+            position += 1
+            continue
+        # Blocked: pick the best SWAP adjacent to the gate's qubits.
+        front = [inst.qubits]
+        future = upcoming_twoq(position + 1, _LOOKAHEAD_SIZE)
+        candidates: Set[Tuple[int, int]] = set()
+        for phys in (pa, pb):
+            for nb in coupling.neighbors(phys):
+                candidates.add((min(phys, nb), max(phys, nb)))
+        best = min(
+            candidates,
+            key=lambda e: swap_score(e[0], e[1], front, future),
+        )
+        p1, p2 = best
+        out.cx(p1, p2)
+        out.cx(p2, p1)
+        out.cx(p1, p2)
+        layout.swap_physical(p1, p2)
+        num_swaps += 1
+        decay[p1] = decay.get(p1, 0.0) + _DECAY_STEP
+        decay[p2] = decay.get(p2, 0.0) + _DECAY_STEP
+        steps_since_reset += 1
+        if steps_since_reset >= _DECAY_RESET_INTERVAL:
+            decay.clear()
+            steps_since_reset = 0
+
+    return RoutedCircuit(out, initial_layout.copy(), layout, num_swaps)

@@ -1,0 +1,136 @@
+"""The transpile() entry point.
+
+Pipeline (mirroring the passes the paper relies on in Qiskit):
+
+1. decompose to {rz, sx, x, cx};
+2. noise-aware initial mapping (HA heuristic, ref. [18]);
+3. reliability-weighted SWAP routing;
+4. gate optimization (levels 0–3, paper uses 3);
+5. optional ALAP scheduling with explicit idle delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.calibration import Calibration
+from ..hardware.devices import Device
+from ..hardware.topology import CouplingMap
+from .basis import decompose_to_basis
+from .layout import Layout
+from .mapping import noise_aware_layout
+from .optimize import optimize_circuit
+from .routing import route_circuit
+from .schedule import schedule_alap
+
+__all__ = ["TranspileResult", "transpile", "transpile_for_partition"]
+
+
+@dataclass
+class TranspileResult:
+    """Transpilation output.
+
+    ``circuit`` is expressed over the coupling map's physical indices;
+    ``initial_layout``/``final_layout`` map logical -> physical.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: Optional[Calibration] = None,
+    optimization_level: int = 3,
+    initial_layout: Optional[Layout] = None,
+    schedule: bool = False,
+    seed: int = 0,
+    router: str = "basic",
+) -> TranspileResult:
+    """Compile *circuit* for a device described by *coupling*.
+
+    *router* selects the SWAP-insertion strategy: ``"basic"`` (shortest
+    reliability path) or ``"sabre"`` (lookahead scoring).
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be 0..3")
+    basis = decompose_to_basis(circuit)
+    if initial_layout is None:
+        initial_layout = noise_aware_layout(basis, coupling, calibration,
+                                            seed=seed)
+    if router == "basic":
+        routed = route_circuit(basis, coupling, initial_layout,
+                               calibration)
+    elif router == "sabre":
+        from .sabre import sabre_route
+
+        routed = sabre_route(basis, coupling, initial_layout,
+                             calibration)
+    else:
+        raise ValueError(f"unknown router {router!r}")
+    optimized = optimize_circuit(routed.circuit, optimization_level)
+    if schedule and calibration is not None:
+        optimized = schedule_alap(optimized, calibration.gate_duration)
+    return TranspileResult(
+        circuit=optimized,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        num_swaps=routed.num_swaps,
+    )
+
+
+def partition_coupling(device: Device,
+                       partition: Sequence[int]) -> CouplingMap:
+    """Induced coupling map of a partition, using local indices.
+
+    Local index ``i`` corresponds to physical qubit ``partition[i]``.
+    """
+    index_of = {p: i for i, p in enumerate(partition)}
+    local_edges = [
+        (index_of[a], index_of[b])
+        for a, b in device.coupling.subgraph_edges(partition)
+    ]
+    return CouplingMap(len(partition), local_edges)
+
+
+def partition_calibration(device: Device,
+                          partition: Sequence[int]) -> Calibration:
+    """Calibration snapshot restricted to a partition (local indices)."""
+    index_of = {p: i for i, p in enumerate(partition)}
+    cal = Calibration(gate_duration=dict(
+        device.calibration.gate_duration))
+    for p, i in index_of.items():
+        cal.oneq_error[i] = device.calibration.oneq_error[p]
+        cal.readout_error[i] = device.calibration.readout_error[p]
+        cal.t1[i] = device.calibration.t1[p]
+        cal.t2[i] = device.calibration.t2[p]
+        cal.detuning[i] = device.calibration.detuning.get(p, 0.0)
+    for (a, b) in device.coupling.subgraph_edges(partition):
+        la, lb = sorted((index_of[a], index_of[b]))
+        cal.twoq_error[(la, lb)] = device.calibration.cx_error(a, b)
+    return cal
+
+
+def transpile_for_partition(
+    circuit: QuantumCircuit,
+    device: Device,
+    partition: Sequence[int],
+    optimization_level: int = 3,
+    schedule: bool = True,
+    seed: int = 0,
+) -> TranspileResult:
+    """Compile *circuit* onto a specific partition of *device*.
+
+    The output circuit uses partition-local indices and is ready to wrap
+    in :class:`repro.sim.executor.Program` with this partition.
+    """
+    coupling = partition_coupling(device, partition)
+    calibration = partition_calibration(device, partition)
+    return transpile(circuit, coupling, calibration,
+                     optimization_level=optimization_level,
+                     schedule=schedule, seed=seed)

@@ -1,0 +1,71 @@
+"""VQE with Pauli grouping (paper Sec. IV-C): H2 Hamiltonian, RyRz
+ansatz, commuting-group measurement, and the PG / QuCP+PG drivers."""
+
+from .ansatz import NUM_ANSATZ_PARAMETERS, ryrz_ansatz
+from .grouping import MeasurementGroup, group_commuting_terms
+from .hamiltonian import (
+    H2_BOND_LENGTH_ANGSTROM,
+    H2_COEFFICIENTS,
+    h2_hamiltonian,
+)
+from .measurement import (
+    energy_from_distributions,
+    group_energy,
+    measurement_circuit,
+    term_expectation,
+)
+from .optimizer import (
+    OptimizationResult,
+    minimize_energy_ideal,
+    minimize_energy_parallel,
+)
+from .pauli import PauliOperator, PauliString
+from .qaoa import (
+    QAOAGridResult,
+    expected_cut_value,
+    max_cut_value,
+    maxcut_cost,
+    qaoa_circuit,
+    run_qaoa_grid_ideal,
+    run_qaoa_grid_parallel,
+)
+from .vqe import (
+    VQEScanResult,
+    relative_error_percent,
+    run_vqe_scan_ideal,
+    run_vqe_scan_independent,
+    run_vqe_scan_parallel,
+    vqe_energy_ideal,
+)
+
+__all__ = [
+    "H2_BOND_LENGTH_ANGSTROM",
+    "H2_COEFFICIENTS",
+    "MeasurementGroup",
+    "NUM_ANSATZ_PARAMETERS",
+    "OptimizationResult",
+    "PauliOperator",
+    "PauliString",
+    "QAOAGridResult",
+    "VQEScanResult",
+    "energy_from_distributions",
+    "expected_cut_value",
+    "group_commuting_terms",
+    "group_energy",
+    "h2_hamiltonian",
+    "max_cut_value",
+    "maxcut_cost",
+    "measurement_circuit",
+    "minimize_energy_ideal",
+    "minimize_energy_parallel",
+    "qaoa_circuit",
+    "relative_error_percent",
+    "run_qaoa_grid_ideal",
+    "run_qaoa_grid_parallel",
+    "run_vqe_scan_ideal",
+    "run_vqe_scan_independent",
+    "run_vqe_scan_parallel",
+    "ryrz_ansatz",
+    "term_expectation",
+    "vqe_energy_ideal",
+]

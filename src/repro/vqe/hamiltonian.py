@@ -1,0 +1,31 @@
+"""The H2 Hamiltonian used in the paper's Sec. IV-C.
+
+Molecular hydrogen at the equilibrium bond length (0.735 angstroms),
+singlet state, no charge, STO-3G basis, fermionic operators mapped to
+qubits with **parity mapping** and two-qubit reduction.  The result is the
+standard 2-qubit, 5-term Hamiltonian over {II, IZ, ZI, ZZ, XX} with the
+well-known coefficients (Hartree) used throughout the VQE literature.
+"""
+
+from __future__ import annotations
+
+from .pauli import PauliOperator
+
+__all__ = ["h2_hamiltonian", "H2_COEFFICIENTS", "H2_BOND_LENGTH_ANGSTROM"]
+
+#: Equilibrium bond length the paper evaluates at.
+H2_BOND_LENGTH_ANGSTROM = 0.735
+
+#: Parity-mapped, tapered 2-qubit H2 coefficients at 0.735 A (Hartree).
+H2_COEFFICIENTS = {
+    "II": -1.052373245772859,
+    "IZ": 0.39793742484318045,
+    "ZI": -0.39793742484318045,
+    "ZZ": -0.01128010425623538,
+    "XX": 0.18093119978423156,
+}
+
+
+def h2_hamiltonian() -> PauliOperator:
+    """The 5-term parity-mapped H2 Hamiltonian at 0.735 angstroms."""
+    return PauliOperator(H2_COEFFICIENTS)

@@ -1,0 +1,21 @@
+"""Benchmark workloads: the paper's Table II circuit suite."""
+
+from .suite import (
+    ALIASES,
+    TABLE_II,
+    Workload,
+    all_workloads,
+    dump_qasm,
+    workload,
+    workload_names,
+)
+
+__all__ = [
+    "ALIASES",
+    "TABLE_II",
+    "Workload",
+    "all_workloads",
+    "dump_qasm",
+    "workload",
+    "workload_names",
+]

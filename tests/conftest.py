@@ -1,0 +1,32 @@
+"""Shared fixtures: devices are module-scoped because their calibration
+generation and distance tables are deterministic and reusable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import ibm_manhattan, ibm_melbourne, ibm_toronto, linear_device
+
+
+@pytest.fixture(scope="session")
+def toronto():
+    """IBM Q 27 Toronto (seeded synthetic calibration)."""
+    return ibm_toronto()
+
+
+@pytest.fixture(scope="session")
+def manhattan():
+    """IBM Q 65 Manhattan (seeded synthetic calibration)."""
+    return ibm_manhattan()
+
+
+@pytest.fixture(scope="session")
+def melbourne():
+    """IBM Q 16 Melbourne with the paper's Fig. 1 CX errors."""
+    return ibm_melbourne()
+
+
+@pytest.fixture(scope="session")
+def line5():
+    """A 5-qubit linear-chain test device."""
+    return linear_device(5, seed=7)

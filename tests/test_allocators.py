@@ -1,0 +1,121 @@
+"""Unit tests for QuCP and the baseline allocators."""
+
+import pytest
+
+from repro.circuits import ghz_circuit
+from repro.core import (
+    cna_allocate,
+    multiqc_allocate,
+    oracle_characterization,
+    qucloud_allocate,
+    qucp_allocate,
+    qumc_allocate,
+)
+from repro.workloads import workload
+
+
+def _three(name="adder"):
+    return [workload(name).circuit() for _ in range(3)]
+
+
+class TestQucpAllocate:
+    def test_partitions_disjoint(self, toronto):
+        alloc = qucp_allocate(_three(), toronto)
+        seen = set()
+        for part in alloc.partitions:
+            assert not seen & set(part)
+            seen.update(part)
+
+    def test_partitions_connected_and_sized(self, toronto):
+        circuits = [ghz_circuit(n).measure_all() for n in (3, 4, 5)]
+        alloc = qucp_allocate(circuits, toronto)
+        for i, part in enumerate(alloc.partitions):
+            assert len(part) == circuits[i].num_qubits
+            assert toronto.coupling.is_connected_subset(part)
+
+    def test_larger_programs_allocated_first(self, toronto):
+        circuits = [ghz_circuit(3).measure_all(),
+                    ghz_circuit(5).measure_all()]
+        alloc = qucp_allocate(circuits, toronto)
+        # The 5q program (index 1) must have been allocated first, i.e.
+        # it appears first in the internal allocation order.
+        assert alloc.allocations[0].index == 1
+
+    def test_throughput(self, toronto):
+        alloc = qucp_allocate(_three(), toronto)
+        assert alloc.throughput() == pytest.approx(12 / 27)
+
+    def test_device_capacity_exceeded(self, line5):
+        with pytest.raises(RuntimeError):
+            qucp_allocate(
+                [ghz_circuit(3).measure_all() for _ in range(3)], line5)
+
+    def test_sigma_zero_vs_large_can_differ(self, toronto):
+        circuits = _three("alu-v0_27")
+        blind = qucp_allocate(circuits, toronto, sigma=1.0)
+        aware = qucp_allocate(circuits, toronto, sigma=8.0)
+        # With sigma=1 QuCP degenerates to crosstalk-blind allocation;
+        # EFS values must be ordered accordingly for the later programs.
+        assert blind.method != aware.method
+
+    def test_allocation_lookup(self, toronto):
+        alloc = qucp_allocate(_three(), toronto)
+        for idx in range(3):
+            assert alloc.allocation_for(idx).index == idx
+        with pytest.raises(KeyError):
+            alloc.allocation_for(99)
+
+
+class TestSigmaTuning:
+    def test_large_sigma_matches_qumc_partitions(self, toronto):
+        """The paper's sigma-tuning claim: sigma >= 4 reproduces QuMC."""
+        circuits = _three("4mod5-v1_22")
+        ratio_map = oracle_characterization(toronto)
+        qumc = qumc_allocate(circuits, toronto, ratio_map=ratio_map)
+        qucp = qucp_allocate(circuits, toronto, sigma=4.0)
+        assert set(map(tuple, qucp.partitions)) == set(
+            map(tuple, qumc.partitions))
+
+
+class TestBaselines:
+    def test_qumc_requires_characterization(self, toronto):
+        with pytest.raises(ValueError):
+            qumc_allocate(_three(), toronto)
+
+    @pytest.mark.parametrize("allocator", [
+        multiqc_allocate, qucloud_allocate,
+    ])
+    def test_baseline_partitions_valid(self, toronto, allocator):
+        alloc = allocator(_three(), toronto)
+        seen = set()
+        for part in alloc.partitions:
+            assert len(part) == 4
+            assert toronto.coupling.is_connected_subset(part)
+            assert not seen & set(part)
+            seen.update(part)
+
+    def test_cna_footprints_disjoint_and_runnable(self, toronto):
+        """CNA maps onto the whole free chip; its footprints (which may
+        exceed the program size when routing borrows qubits) must be
+        disjoint and its precompiled circuits must fit them."""
+        from repro.core import cna_compile
+
+        circuits = _three()
+        cna = cna_compile(circuits, toronto)
+        seen = set()
+        for alloc in cna.allocation.allocations:
+            part = alloc.partition
+            assert len(part) >= 4
+            assert not seen & set(part)
+            seen.update(part)
+            transpiled = cna.transpiled[alloc.index]
+            assert transpiled.circuit.num_qubits == len(part)
+
+    def test_cna_processes_in_submission_order(self, toronto):
+        """CNA has no largest-first sorting: allocations keep input order."""
+        from repro.core import cna_compile
+
+        circuits = [ghz_circuit(3).measure_all(),
+                    ghz_circuit(5).measure_all()]
+        cna = cna_compile(circuits, toronto)
+        assert [a.index for a in cna.allocation.allocations] == [0, 1]

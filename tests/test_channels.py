@@ -1,0 +1,157 @@
+"""Unit tests for Kraus channels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    error_rate_to_depolarizing_param,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+
+def _max_mixed(n=1):
+    d = 2 ** n
+    return np.eye(d, dtype=complex) / d
+
+
+class TestKrausChannel:
+    def test_completeness_enforced(self):
+        bad = (np.eye(2, dtype=complex) * 0.5,)
+        with pytest.raises(ValueError):
+            KrausChannel(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KrausChannel(())
+
+    def test_apply_preserves_trace(self):
+        ch = depolarizing_channel(0.3, 1)
+        rho = np.array([[0.7, 0.2], [0.2, 0.3]], dtype=complex)
+        out = ch.apply(rho)
+        assert np.trace(out).real == pytest.approx(1.0)
+
+    def test_compose(self):
+        ch = bit_flip_channel(1.0).compose(bit_flip_channel(1.0))
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        # Two certain X flips = identity.
+        assert np.allclose(ch.apply(rho), rho)
+
+    def test_num_qubits(self):
+        assert depolarizing_channel(0.1, 2).num_qubits == 2
+
+    def test_embedded_caches(self):
+        ch = depolarizing_channel(0.2, 1)
+        first = ch.embedded((0,), 2)
+        second = ch.embedded((0,), 2)
+        assert first is second
+
+
+class TestDepolarizing:
+    def test_full_depolarization_gives_max_mixed(self):
+        ch = depolarizing_channel(1.0, 1)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        assert np.allclose(ch.apply(rho), _max_mixed(), atol=1e-10)
+
+    def test_zero_is_identity(self):
+        ch = depolarizing_channel(0.0, 1)
+        rho = np.array([[0.6, 0.3], [0.3, 0.4]], dtype=complex)
+        assert np.allclose(ch.apply(rho), rho)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5, 1)
+
+    def test_error_rate_conversion(self):
+        # 1q: p = 2 * err; 2q: p = 4/3 * err.
+        assert error_rate_to_depolarizing_param(0.01, 1) == pytest.approx(0.02)
+        assert error_rate_to_depolarizing_param(0.03, 2) == pytest.approx(0.04)
+
+    def test_conversion_clips(self):
+        assert error_rate_to_depolarizing_param(0.9, 1) == 1.0
+
+    def test_average_fidelity_matches_error_rate(self):
+        # Monte-Carlo check: the channel built from error e has average
+        # gate infidelity e.
+        err = 0.05
+        p = error_rate_to_depolarizing_param(err, 1)
+        ch = depolarizing_channel(p, 1)
+        rng = np.random.default_rng(3)
+        fids = []
+        for _ in range(500):
+            psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+            psi /= np.linalg.norm(psi)
+            rho = np.outer(psi, psi.conj())
+            fids.append(np.real(psi.conj() @ ch.apply(rho) @ psi))
+        assert 1.0 - np.mean(fids) == pytest.approx(err, abs=5e-3)
+
+
+class TestPauliChannels:
+    def test_bit_flip(self):
+        ch = bit_flip_channel(1.0)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        assert np.allclose(ch.apply(rho), np.diag([0.0, 1.0]))
+
+    def test_phase_flip_kills_coherence(self):
+        ch = phase_flip_channel(0.5)
+        rho = np.full((2, 2), 0.5, dtype=complex)
+        out = ch.apply(rho)
+        assert out[0, 1] == pytest.approx(0.0)
+
+    def test_probabilities_over_one_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_channel({"X": 0.7, "Z": 0.6})
+
+    def test_two_qubit_labels(self):
+        ch = pauli_channel({"XX": 0.25})
+        assert ch.num_qubits == 2
+
+
+class TestDamping:
+    def test_amplitude_damping_decays_excited(self):
+        ch = amplitude_damping_channel(0.4)
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = ch.apply(rho)
+        assert out[0, 0].real == pytest.approx(0.4)
+        assert out[1, 1].real == pytest.approx(0.6)
+
+    def test_phase_damping_preserves_populations(self):
+        ch = phase_damping_channel(0.3)
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = ch.apply(rho)
+        assert out[0, 0].real == pytest.approx(0.5)
+        assert abs(out[0, 1]) < 0.5
+
+    def test_thermal_relaxation_limits(self):
+        t1, t2 = 50_000.0, 70_000.0
+        ch = thermal_relaxation_channel(t1, t2, duration=t1)
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = ch.apply(rho)
+        assert out[1, 1].real == pytest.approx(math.exp(-1.0), abs=1e-9)
+
+    def test_thermal_relaxation_t2_decay(self):
+        t1, t2 = 50_000.0, 40_000.0
+        dur = 10_000.0
+        ch = thermal_relaxation_channel(t1, t2, dur)
+        plus = np.full((2, 2), 0.5, dtype=complex)
+        out = ch.apply(plus)
+        assert abs(out[0, 1]) == pytest.approx(
+            0.5 * math.exp(-dur / t2), abs=1e-9)
+
+    def test_invalid_t2_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(10.0, 25.0, 1.0)
+
+    def test_identity_channel(self):
+        ch = identity_channel(2)
+        rho = np.eye(4, dtype=complex) / 4
+        assert np.allclose(ch.apply(rho), rho)

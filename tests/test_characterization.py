@@ -1,0 +1,135 @@
+"""Unit tests for RB, SRB, and the Table-I overhead accounting."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    fit_rb_decay,
+    group_experiments,
+    rb_sequence,
+    rb_survival,
+    run_rb,
+    run_srb_experiment,
+    srb_experiments,
+    srb_job_count,
+    srb_overhead_report,
+)
+from repro.sim import circuit_unitary
+
+
+class TestRBSequences:
+    def test_sequence_composes_to_identity(self):
+        rng = np.random.default_rng(0)
+        for length in (1, 3, 8):
+            qc = rb_sequence(2, length, rng)
+            u = circuit_unitary(qc.without_measurements())
+            phase = u[0, 0] / abs(u[0, 0])
+            assert np.allclose(u / phase, np.eye(4), atol=1e-8)
+
+    def test_sequence_measures_all(self):
+        rng = np.random.default_rng(1)
+        qc = rb_sequence(1, 4, rng)
+        assert qc.count_ops()["measure"] == 1
+
+    def test_survival_reads_zero_string(self):
+        assert rb_survival({"00": 0.8, "01": 0.2}) == 0.8
+        assert rb_survival({}) == 0.0
+
+
+class TestDecayFit:
+    def test_exact_exponential_recovered(self):
+        alpha = 0.97
+        lengths = [1, 5, 10, 20, 40, 60]
+        survival = [0.75 * alpha ** m + 0.25 for m in lengths]
+        fit_alpha, epc, amp, base = fit_rb_decay(lengths, survival, 2)
+        assert fit_alpha == pytest.approx(alpha, abs=1e-6)
+        assert epc == pytest.approx(0.75 * (1 - alpha), abs=1e-6)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(7)
+        alpha = 0.95
+        lengths = [1, 4, 8, 16, 28, 44, 64]
+        survival = [
+            0.75 * alpha ** m + 0.25 + rng.normal(0, 0.01)
+            for m in lengths
+        ]
+        fit_alpha, _, _, _ = fit_rb_decay(lengths, survival, 2)
+        assert fit_alpha == pytest.approx(alpha, abs=0.02)
+
+
+class TestRunRB:
+    def test_epc_tracks_link_quality(self, toronto):
+        """RB on a bad link reports a larger EPC than on a good link."""
+        edges = sorted(toronto.calibration.twoq_error.items(),
+                       key=lambda kv: kv[1])
+        good_edge = edges[0][0]
+        bad_edge = edges[-1][0]
+        good = run_rb(toronto, good_edge, lengths=(1, 8, 20, 40),
+                      seeds=2, shots=0)
+        bad = run_rb(toronto, bad_edge, lengths=(1, 8, 20, 40),
+                     seeds=2, shots=0)
+        assert bad.epc > good.epc
+
+    def test_epc_positive_and_small(self, toronto):
+        res = run_rb(toronto, (0, 1), lengths=(1, 8, 20), seeds=2,
+                     shots=0)
+        assert 0.0 < res.epc < 0.2
+
+
+class TestSRB:
+    def test_strong_pair_detected(self, toronto):
+        strong = next(
+            e for e in srb_experiments(toronto.coupling)
+            if toronto.crosstalk.factor(e.link_a, e.link_b) >= 2.5)
+        res = run_srb_experiment(toronto, strong, seeds=2, shots=0,
+                                 lengths=(1, 8, 20, 40))
+        assert res.max_ratio > 1.7
+
+    def test_mild_pair_not_flagged(self, toronto):
+        mild = next(
+            e for e in srb_experiments(toronto.coupling)
+            if toronto.crosstalk.factor(e.link_a, e.link_b) <= 1.2)
+        res = run_srb_experiment(toronto, mild, seeds=2, shots=0,
+                                 lengths=(1, 8, 20, 40))
+        assert res.max_ratio < 1.7
+
+
+class TestScheduling:
+    def test_experiments_are_one_hop_pairs(self, toronto):
+        exps = srb_experiments(toronto.coupling)
+        for e in exps:
+            assert toronto.coupling.pair_distance(e.link_a, e.link_b) == 1
+
+    def test_groups_are_conflict_free(self, toronto):
+        groups = group_experiments(toronto.coupling)
+        for group in groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    dists = [
+                        toronto.coupling.pair_distance(x, y)
+                        for x in (a.link_a, a.link_b)
+                        for y in (b.link_a, b.link_b)
+                    ]
+                    assert min(dists) > 1
+
+    def test_groups_cover_all_experiments(self, toronto):
+        exps = srb_experiments(toronto.coupling)
+        groups = group_experiments(toronto.coupling)
+        assert sum(len(g) for g in groups) == len(exps)
+
+    def test_job_count_formula(self):
+        # The paper's arithmetic: groups x seeds x 3 job types.
+        assert srb_job_count(9, seeds=5) == 135
+        assert srb_job_count(11, seeds=5) == 165
+
+    def test_overhead_report_matches_links(self, toronto, manhattan):
+        rep_t = srb_overhead_report("t", toronto.coupling)
+        rep_m = srb_overhead_report("m", manhattan.coupling)
+        assert rep_t.one_hop_pairs == 28   # paper Table I
+        assert rep_m.one_hop_pairs == 72   # paper Table I
+        assert rep_m.groups >= rep_t.groups or rep_m.jobs > rep_t.jobs
+
+    def test_jobs_grow_with_chip_size(self, toronto, manhattan):
+        rep_t = srb_overhead_report("t", toronto.coupling)
+        rep_m = srb_overhead_report("m", manhattan.coupling)
+        assert rep_m.jobs > rep_t.jobs > 50

@@ -1,0 +1,70 @@
+"""Unit tests for the Clifford group machinery."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    clifford_group_1q,
+    clifford_group_2q,
+)
+
+
+class TestGroupOrders:
+    def test_1q_group_order(self):
+        assert len(clifford_group_1q()) == 24
+
+    def test_2q_group_order(self):
+        assert len(clifford_group_2q()) == 11520
+
+
+class TestElements:
+    def test_decompositions_reproduce_matrices(self):
+        from repro.sim import circuit_unitary
+
+        group = clifford_group_1q()
+        for elem in group.elements:
+            qc = QuantumCircuit(1)
+            elem.apply_to(qc, [0])
+            u = circuit_unitary(qc)
+            # Equal up to global phase.
+            k = np.argmax(np.abs(elem.matrix))
+            idx = np.unravel_index(k, elem.matrix.shape)
+            phase = elem.matrix[idx] / u[idx]
+            assert np.allclose(u * phase, elem.matrix, atol=1e-8)
+
+    def test_inverse_lookup(self):
+        group = clifford_group_1q()
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            elem = group.sample(rng)
+            inv = group.inverse_of(elem.matrix)
+            prod = inv.matrix @ elem.matrix
+            phase = prod[0, 0] / abs(prod[0, 0])
+            assert np.allclose(prod / phase, np.eye(2), atol=1e-8)
+
+    def test_inverse_of_non_member_rejected(self):
+        group = clifford_group_1q()
+        t_gate = np.diag([1, np.exp(1j * np.pi / 4)])
+        with pytest.raises(KeyError):
+            group.inverse_of(t_gate)
+
+    def test_sampling_uniformish(self):
+        group = clifford_group_1q()
+        rng = np.random.default_rng(0)
+        seen = {id(group.sample(rng)) for _ in range(300)}
+        # 24 elements, 300 draws: expect to have seen most of them.
+        assert len(seen) >= 20
+
+    def test_2q_inverse_closure(self):
+        group = clifford_group_2q()
+        rng = np.random.default_rng(1)
+        total = np.eye(4, dtype=complex)
+        for _ in range(5):
+            total = group.sample(rng).matrix @ total
+        inv = group.inverse_of(total)
+        prod = inv.matrix @ total
+        k = np.argmax(np.abs(prod))
+        idx = np.unravel_index(k, prod.shape)
+        phase = prod[idx] / abs(prod[idx])
+        assert np.allclose(prod / phase, np.eye(4), atol=1e-8)

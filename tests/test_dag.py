@@ -1,0 +1,108 @@
+"""Unit tests for DAG layering and scheduling levels."""
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.dag import (
+    CircuitDag,
+    alap_layers,
+    asap_layers,
+    instruction_levels,
+    simultaneous_twoq_pairs,
+)
+
+
+def _names(layers):
+    return [[inst.name for inst in layer] for layer in layers]
+
+
+class TestAsapLayers:
+    def test_parallel_gates_share_layer(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        assert _names(asap_layers(qc)) == [["h", "h"]]
+
+    def test_dependency_chain_separates(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).x(1)
+        assert _names(asap_layers(qc)) == [["h"], ["cx"], ["x"]]
+
+    def test_barrier_orders_but_not_emitted(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().h(1)
+        layers = asap_layers(qc)
+        assert _names(layers) == [["h"], ["h"]]
+
+    def test_empty_circuit(self):
+        assert asap_layers(QuantumCircuit(2)) == []
+
+
+class TestAlapLayers:
+    def test_short_branch_scheduled_late(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(0).x(0)   # long chain on qubit 0
+        qc.h(1)             # single gate on qubit 1
+        alap = alap_layers(qc)
+        # Under ALAP the lone h lands in the final layer.
+        assert "h" in [i.name for i in alap[-1]]
+        asap = asap_layers(qc)
+        assert "h" in [i.name for i in asap[0]]
+
+    def test_alap_preserves_all_instructions(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2).x(0)
+        total = sum(len(layer) for layer in alap_layers(qc))
+        assert total == 4
+
+
+class TestInstructionLevels:
+    def test_asap_levels(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).x(1)
+        assert instruction_levels(qc, "asap") == [0, 1, 2]
+
+    def test_alap_levels_count_from_end(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).x(1)
+        # x is the last layer -> 0 from the end; cx -> 1; h -> 2.
+        assert instruction_levels(qc, "alap") == [2, 1, 0]
+
+    def test_alap_aligns_ends(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(0).h(1)
+        levels = instruction_levels(qc, "alap")
+        # Both final ops (second x, the h) are 0 from the end.
+        assert levels[1] == 0
+        assert levels[2] == 0
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            instruction_levels(QuantumCircuit(1), "sometime")
+
+
+class TestCircuitDag:
+    def test_front_layer(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        front = dag.front_layer()
+        assert len(front) == 1
+        assert front[0].instruction.name == "h"
+
+    def test_successor_edges(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).x(1)
+        dag = CircuitDag(qc)
+        assert dag.successors[0] == [1]
+        assert dag.successors[1] == [2]
+        assert dag.predecessors[2] == [1]
+
+
+class TestSimultaneousPairs:
+    def test_pairs_by_layer(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cx(2, 3)
+        qc.cx(1, 2)
+        pairs = simultaneous_twoq_pairs(asap_layers(qc))
+        assert pairs[0] == [(0, 1), (2, 3)]
+        assert pairs[1] == [(1, 2)]

@@ -1,0 +1,120 @@
+"""Unit tests for the noisy density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.sim import NoiseModel, run_circuit, simulate_density_matrix
+
+
+def _simple_noise(n=2, cx_err=0.02, ro=0.02):
+    return NoiseModel(
+        oneq_error={q: 1e-3 for q in range(n)},
+        twoq_error={(a, a + 1): cx_err for a in range(n - 1)},
+        readout_error={q: (ro, ro) for q in range(n)},
+        t1={q: 80_000.0 for q in range(n)},
+        t2={q: 70_000.0 for q in range(n)},
+    )
+
+
+class TestNoiselessEvolution:
+    def test_pure_state_density_matrix(self):
+        rho = simulate_density_matrix(ghz_circuit(2))
+        expected = np.zeros((4, 4), dtype=complex)
+        expected[0, 0] = expected[3, 3] = 0.5
+        expected[0, 3] = expected[3, 0] = 0.5
+        assert np.allclose(rho, expected)
+
+    def test_trace_one(self):
+        rho = simulate_density_matrix(ghz_circuit(3),
+                                      noise_model=_simple_noise(3))
+        assert np.trace(rho).real == pytest.approx(1.0)
+
+    def test_positive_semidefinite_under_noise(self):
+        rho = simulate_density_matrix(ghz_circuit(3),
+                                      noise_model=_simple_noise(3, 0.05))
+        eigs = np.linalg.eigvalsh(rho)
+        assert eigs.min() > -1e-10
+
+    def test_reset_returns_to_zero(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).reset(0)
+        rho = simulate_density_matrix(qc)
+        assert rho[0, 0].real == pytest.approx(1.0)
+
+    def test_reset_of_superposition(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).reset(0)
+        rho = simulate_density_matrix(qc)
+        assert rho[0, 0].real == pytest.approx(1.0)
+        assert abs(rho[0, 1]) < 1e-12
+
+
+class TestNoiseEffects:
+    def test_noise_reduces_fidelity(self):
+        qc = ghz_circuit(2).measure_all()
+        clean = run_circuit(qc, shots=0)
+        noisy = run_circuit(qc, noise_model=_simple_noise(2, 0.08),
+                            shots=0)
+        p_good_clean = clean.probabilities["00"] + clean.probabilities["11"]
+        p_good_noisy = (noisy.probabilities.get("00", 0)
+                        + noisy.probabilities.get("11", 0))
+        assert p_good_clean == pytest.approx(1.0)
+        assert p_good_noisy < p_good_clean
+
+    def test_error_scales_amplify_noise(self):
+        qc = ghz_circuit(2).measure_all()
+        nm = _simple_noise(2, 0.03)
+        base = run_circuit(qc, noise_model=nm, shots=0)
+        # The cx is instruction index 1 in the GHZ circuit.
+        boosted = run_circuit(qc, noise_model=nm, shots=0,
+                              error_scales={1: 4.0})
+        good = lambda r: (r.probabilities.get("00", 0)
+                          + r.probabilities.get("11", 0))
+        assert good(boosted) < good(base)
+
+    def test_readout_error_applied(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        nm = NoiseModel(readout_error={0: (0.1, 0.0)})
+        res = run_circuit(qc, noise_model=nm, shots=0)
+        assert res.probabilities["1"] == pytest.approx(0.1)
+
+    def test_delay_causes_decoherence(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.delay(0, 40_000.0)
+        qc.measure(0, 0)
+        nm = NoiseModel(t1={0: 40_000.0}, t2={0: 40_000.0})
+        res = run_circuit(qc, noise_model=nm, shots=0)
+        assert res.probabilities["0"] == pytest.approx(1 - np.exp(-1),
+                                                       abs=1e-6)
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        qc = ghz_circuit(2).measure_all()
+        res = run_circuit(qc, noise_model=_simple_noise(2), shots=500,
+                          seed=2)
+        assert sum(res.counts.values()) == 500
+
+    def test_seeded_counts_reproducible(self):
+        qc = ghz_circuit(2).measure_all()
+        a = run_circuit(qc, shots=200, seed=9).counts
+        b = run_circuit(qc, shots=200, seed=9).counts
+        assert a == b
+
+    def test_density_matrix_optional(self):
+        qc = ghz_circuit(2).measure_all()
+        res = run_circuit(qc, shots=10, seed=0)
+        assert res.density_matrix is None
+        res = run_circuit(qc, shots=10, seed=0, keep_density_matrix=True)
+        assert res.density_matrix is not None
+
+    def test_expectation_z(self):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0).measure(0, 0).measure(1, 1)
+        res = run_circuit(qc, shots=0)
+        assert res.expectation_z([0]) == pytest.approx(-1.0)
+        assert res.expectation_z([1]) == pytest.approx(1.0)
+        assert res.expectation_z([0, 1]) == pytest.approx(-1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.circuits import QuantumCircuit, draw
+
+
+class TestDraw:
+    def test_one_line_per_qubit(self):
+        qc = QuantumCircuit(3)
+        text = draw(qc)
+        assert len(text.splitlines()) == 3
+
+    def test_single_qubit_gate_label(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        assert "[h]" in draw(qc)
+
+    def test_cx_symbols(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        lines = draw(qc).splitlines()
+        assert "*" in lines[0]
+        assert "[X]" in lines[1]
+
+    def test_measure_symbol(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        assert "[M]" in draw(qc)
+
+    def test_barrier_marks_spanned_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.barrier(0)
+        lines = draw(qc).splitlines()
+        assert "|" in lines[0]
+        assert "|" not in lines[1]
+
+    def test_vertical_connector_through_middle(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        lines = draw(qc).splitlines()
+        assert "|" in lines[1]
+
+    def test_columns_aligned(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+        lines = draw(qc).splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_parametric_label(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.5, 0)
+        assert "rz(0.5)" in draw(qc)
+
+    def test_max_width_truncation(self):
+        qc = QuantumCircuit(1)
+        for _ in range(100):
+            qc.h(0)
+        text = draw(qc, max_width=40)
+        assert all(len(line) <= 40 for line in text.splitlines())
+        assert text.endswith("...")
+
+    def test_swap_symbols(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        lines = draw(qc).splitlines()
+        assert "x" in lines[0] and "x" in lines[1]

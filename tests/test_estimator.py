@@ -1,0 +1,62 @@
+"""Unit tests for the observable estimator."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, bell_pair
+from repro.sim import estimate_expectation, estimate_expectation_on_device
+from repro.vqe import PauliOperator, h2_hamiltonian, ryrz_ansatz, vqe_energy_ideal
+
+
+class TestIdealEstimator:
+    def test_matches_direct_expectation(self):
+        for theta in (-1.0, 0.3, 2.2):
+            est = estimate_expectation(ryrz_ansatz([theta]),
+                                       h2_hamiltonian())
+            assert est.value == pytest.approx(vqe_energy_ideal(theta),
+                                              abs=1e-9)
+
+    def test_group_breakdown_sums(self):
+        est = estimate_expectation(ryrz_ansatz([0.7]), h2_hamiltonian())
+        assert sum(est.group_values) == pytest.approx(est.value)
+        assert est.num_circuits == 2
+
+    def test_bell_state_zz(self):
+        op = PauliOperator({"ZZ": 1.0})
+        est = estimate_expectation(bell_pair(), op)
+        assert est.value == pytest.approx(1.0)
+
+    def test_bell_state_xx(self):
+        op = PauliOperator({"XX": 1.0})
+        est = estimate_expectation(bell_pair(), op)
+        assert est.value == pytest.approx(1.0)
+
+    def test_qubit_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_expectation(QuantumCircuit(3),
+                                 PauliOperator({"ZZ": 1.0}))
+
+
+class TestDeviceEstimator:
+    def test_noisy_estimate_attenuated(self, toronto):
+        """Depolarizing noise pulls |<H>| toward zero, never past it."""
+        op = PauliOperator({"ZZ": 1.0})
+        est = estimate_expectation_on_device(
+            bell_pair(), op, toronto, shots=0, parallel=False)
+        assert 0.5 < est.value < 1.0
+
+    def test_parallel_runs_all_groups_at_once(self, manhattan):
+        est = estimate_expectation_on_device(
+            ryrz_ansatz([0.4]), h2_hamiltonian(), manhattan, shots=0,
+            parallel=True)
+        assert est.num_circuits == 2
+        ideal = vqe_energy_ideal(0.4)
+        assert abs(est.value - ideal) < 0.35
+
+    def test_sequential_close_to_parallel(self, manhattan):
+        seq = estimate_expectation_on_device(
+            ryrz_ansatz([0.4]), h2_hamiltonian(), manhattan, shots=0,
+            parallel=False, seed=1)
+        par = estimate_expectation_on_device(
+            ryrz_ansatz([0.4]), h2_hamiltonian(), manhattan, shots=0,
+            parallel=True, seed=1)
+        assert abs(seq.value - par.value) < 0.2

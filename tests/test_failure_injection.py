@@ -1,0 +1,110 @@
+"""Failure-injection tests: the library must fail loudly and precisely
+when inputs are broken, not silently mis-simulate."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitError, QuantumCircuit, gate, ghz_circuit
+from repro.core import qucp_allocate
+from repro.hardware import CouplingMap, generate_calibration, linear_device
+from repro.sim import KrausChannel, NoiseModel, run_circuit
+from repro.sim.executor import Program, run_parallel
+from repro.transpiler import Layout, transpile
+from repro.workloads import workload
+
+
+class TestBrokenCircuits:
+    def test_gate_arity_mismatch(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            qc.append(gate("cx"), [0, 1, 2])
+
+    def test_measure_without_clbits(self):
+        qc = QuantumCircuit(1, 0)
+        with pytest.raises(CircuitError):
+            qc.measure(0, 0)
+
+    def test_compose_onto_missing_qubits(self):
+        small = QuantumCircuit(2)
+        big = ghz_circuit(3)
+        with pytest.raises(CircuitError):
+            small.compose(big)
+
+
+class TestBrokenDevices:
+    def test_disconnected_partition_unroutable(self, toronto):
+        """A partition whose induced graph is disconnected cannot host a
+        program needing entanglement across the cut."""
+        from repro.transpiler import transpile_for_partition
+        import networkx as nx
+
+        qc = ghz_circuit(2).measure_all()
+        # Qubits 0 and 26 are far apart: induced subgraph has no edge.
+        with pytest.raises((nx.NetworkXNoPath, ValueError,
+                            nx.NodeNotFound)):
+            transpile_for_partition(qc, toronto, (0, 26))
+
+    def test_calibration_missing_link(self):
+        coupling = CouplingMap(3, [(0, 1), (1, 2)])
+        cal = generate_calibration(coupling, seed=0)
+        with pytest.raises(KeyError):
+            cal.cx_error(0, 2)
+
+    def test_program_larger_than_device(self, line5):
+        with pytest.raises(RuntimeError):
+            qucp_allocate([ghz_circuit(6).measure_all()], line5)
+
+
+class TestBrokenNoise:
+    def test_non_cptp_channel_rejected(self):
+        bad = (np.eye(2, dtype=complex) * 1.1,)
+        with pytest.raises(ValueError):
+            KrausChannel(bad)
+
+    def test_negative_error_rates_harmless(self):
+        """Negative calibration entries must not produce negative
+        probabilities — channel_for treats them as noiseless."""
+        nm = NoiseModel(oneq_error={0: -0.5})
+        qc = QuantumCircuit(1, 1)
+        qc.x(0).measure(0, 0)
+        res = run_circuit(qc, noise_model=nm, shots=0)
+        assert res.probabilities["1"] == pytest.approx(1.0)
+
+    def test_error_rate_above_one_clipped(self):
+        nm = NoiseModel(twoq_error={(0, 1): 5.0})
+        qc = ghz_circuit(2).measure_all()
+        res = run_circuit(qc, noise_model=nm, shots=0)
+        total = sum(res.probabilities.values())
+        assert total == pytest.approx(1.0)
+        assert all(v >= 0 for v in res.probabilities.values())
+
+
+class TestBrokenParallelJobs:
+    def test_program_with_gate_outside_partition(self, toronto):
+        qc = QuantumCircuit(3, 3)
+        qc.cx(0, 2)  # local (0, 2) -> physical (0, 2): not a link
+        qc.measure_all()
+        with pytest.raises(ValueError):
+            run_parallel([Program(qc, (0, 1, 2))], toronto)
+
+    def test_zero_shot_run_still_reports_probabilities(self, toronto):
+        qc = workload("adder").circuit()
+        alloc = qucp_allocate([qc], toronto)
+        from repro.core import execute_allocation
+
+        out = execute_allocation(alloc, shots=0)[0]
+        assert out.result.counts == {}
+        assert sum(out.result.probabilities.values()) == pytest.approx(
+            1.0)
+
+    def test_transpile_level_out_of_range(self, line5):
+        with pytest.raises(ValueError):
+            transpile(ghz_circuit(2), line5.coupling,
+                      optimization_level=-1)
+
+    def test_layout_for_wrong_device_size(self, line5):
+        qc = ghz_circuit(2)
+        bad_layout = Layout({0: 7, 1: 8})  # physical qubits don't exist
+        with pytest.raises(Exception):
+            transpile(qc, line5.coupling, line5.calibration,
+                      initial_layout=bad_layout)

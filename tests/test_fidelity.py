@@ -1,0 +1,105 @@
+"""Unit tests for the state-comparison utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    counts_fidelity,
+    hellinger_fidelity,
+    purity,
+    state_fidelity,
+    trace_distance,
+)
+
+
+def _plus():
+    return np.array([1, 1]) / math.sqrt(2)
+
+
+def _mixed(d=2):
+    return np.eye(d, dtype=complex) / d
+
+
+class TestStateFidelity:
+    def test_identical_pure_states(self):
+        psi = _plus()
+        assert state_fidelity(psi, psi) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([0, 1], dtype=complex)
+        assert state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_pure_vs_mixed(self):
+        psi = np.array([1, 0], dtype=complex)
+        assert state_fidelity(psi, _mixed()) == pytest.approx(0.5)
+
+    def test_mixed_vs_mixed(self):
+        rho = np.diag([0.7, 0.3]).astype(complex)
+        assert state_fidelity(rho, rho) == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric(self):
+        rho = np.diag([0.9, 0.1]).astype(complex)
+        sigma = _mixed()
+        assert state_fidelity(rho, sigma) == pytest.approx(
+            state_fidelity(sigma, rho), abs=1e-9)
+
+    def test_global_phase_invariant(self):
+        psi = _plus()
+        assert state_fidelity(psi, np.exp(1j * 0.7) * psi) == \
+            pytest.approx(1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            state_fidelity(np.array([1, 0]), np.array([1, 0, 0, 0]))
+
+
+class TestTraceDistance:
+    def test_identical_zero(self):
+        rho = _mixed()
+        assert trace_distance(rho, rho) == pytest.approx(0.0)
+
+    def test_orthogonal_pure_is_one(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([0, 1], dtype=complex)
+        assert trace_distance(a, b) == pytest.approx(1.0)
+
+    def test_fuchs_van_de_graaf_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            v1 = rng.normal(size=2) + 1j * rng.normal(size=2)
+            v2 = rng.normal(size=2) + 1j * rng.normal(size=2)
+            v1, v2 = v1 / np.linalg.norm(v1), v2 / np.linalg.norm(v2)
+            f = state_fidelity(v1, v2)
+            t = trace_distance(v1, v2)
+            assert 1 - math.sqrt(f) <= t + 1e-9
+            assert t <= math.sqrt(1 - f) + 1e-9
+
+
+class TestPurity:
+    def test_pure_state(self):
+        assert purity(_plus()) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        assert purity(_mixed(4)) == pytest.approx(0.25)
+
+
+class TestHellinger:
+    def test_identical(self):
+        p = {"00": 0.5, "11": 0.5}
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert hellinger_fidelity({"0": 1.0}, {"1": 1.0}) == \
+            pytest.approx(0.0)
+
+    def test_counts_vs_probs(self):
+        counts = {"00": 500, "11": 500}
+        ideal = {"00": 0.5, "11": 0.5}
+        assert counts_fidelity(counts, ideal) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hellinger_fidelity({}, {"0": 1.0})

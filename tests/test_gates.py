@@ -1,0 +1,143 @@
+"""Unit tests for the gate definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    BASIS_GATES,
+    DIRECTIVES,
+    Gate,
+    GateError,
+    gate,
+    is_directive,
+    standard_gate_names,
+)
+
+
+def _is_unitary(mat: np.ndarray) -> bool:
+    return np.allclose(mat @ mat.conj().T, np.eye(mat.shape[0]), atol=1e-10)
+
+
+class TestGateConstruction:
+    def test_fixed_gate_by_name(self):
+        g = gate("h")
+        assert g.name == "h"
+        assert g.num_qubits == 1
+        assert g.params == ()
+
+    def test_two_qubit_gate_arity(self):
+        assert gate("cx").num_qubits == 2
+        assert gate("swap").num_qubits == 2
+        assert gate("ccx").num_qubits == 3
+
+    def test_parametric_gate(self):
+        g = gate("rz", 0.5)
+        assert g.params == (0.5,)
+        assert g.num_qubits == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(GateError):
+            gate("frobnicate")
+
+    def test_fixed_gate_with_params_rejected(self):
+        with pytest.raises(GateError):
+            Gate("h", 1, (0.3,))
+
+    def test_parametric_wrong_param_count_rejected(self):
+        with pytest.raises(GateError):
+            Gate("u", 1, (0.1, 0.2))
+
+    def test_wrong_qubit_count_rejected(self):
+        with pytest.raises(GateError):
+            Gate("cx", 1)
+
+    def test_case_insensitive_lookup(self):
+        assert gate("CX").name == "cx"
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", [
+        n for n in standard_gate_names()
+    ])
+    def test_every_gate_matrix_is_unitary(self, name):
+        from repro.circuits.gates import _PARAMETRIC  # noqa: PLC2701
+
+        if name in _PARAMETRIC:
+            _, nparams, _ = _PARAMETRIC[name]
+            g = gate(name, *([0.37] * nparams))
+        else:
+            g = gate(name)
+        mat = g.matrix()
+        assert mat.shape == (2 ** g.num_qubits, 2 ** g.num_qubits)
+        assert _is_unitary(mat)
+
+    def test_cx_truth_table(self):
+        cx = gate("cx").matrix()
+        # control = qubit 0 (most significant): |10> -> |11>, |11> -> |10>
+        assert np.allclose(cx @ np.eye(4)[:, 2], np.eye(4)[:, 3])
+        assert np.allclose(cx @ np.eye(4)[:, 3], np.eye(4)[:, 2])
+        assert np.allclose(cx @ np.eye(4)[:, 0], np.eye(4)[:, 0])
+
+    def test_ccx_flips_only_when_both_controls_set(self):
+        ccx = gate("ccx").matrix()
+        assert np.allclose(ccx @ np.eye(8)[:, 6], np.eye(8)[:, 7])
+        assert np.allclose(ccx @ np.eye(8)[:, 7], np.eye(8)[:, 6])
+        for basis in range(6):
+            assert np.allclose(ccx @ np.eye(8)[:, basis],
+                               np.eye(8)[:, basis])
+
+    def test_cswap_swaps_targets_when_control_set(self):
+        cswap = gate("cswap").matrix()
+        # |101> (=5) <-> |110> (=6)
+        assert np.allclose(cswap @ np.eye(8)[:, 5], np.eye(8)[:, 6])
+        assert np.allclose(cswap @ np.eye(8)[:, 6], np.eye(8)[:, 5])
+
+    def test_rz_phases(self):
+        rz = gate("rz", math.pi).matrix()
+        assert np.allclose(rz, np.diag([-1j, 1j]))
+
+    def test_sx_squares_to_x(self):
+        sx = gate("sx").matrix()
+        x = gate("x").matrix()
+        assert np.allclose(sx @ sx, x)
+
+    def test_u_reduces_to_known_gates(self):
+        h = gate("u", math.pi / 2, 0.0, math.pi).matrix()
+        assert np.allclose(h, gate("h").matrix(), atol=1e-12)
+
+    def test_directive_has_no_matrix(self):
+        with pytest.raises(GateError):
+            Gate("measure", 1).matrix()
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "cx", "cz",
+                                      "swap", "ccx", "cswap", "s", "sdg",
+                                      "t", "tdg", "sx", "sxdg"])
+    def test_fixed_inverse(self, name):
+        g = gate(name)
+        inv = g.inverse()
+        prod = inv.matrix() @ g.matrix()
+        assert np.allclose(prod, np.eye(prod.shape[0]), atol=1e-10)
+
+    @pytest.mark.parametrize("name,params", [
+        ("rz", (0.7,)), ("rx", (1.2,)), ("ry", (-0.4,)),
+        ("cp", (0.9,)), ("rzz", (0.3,)), ("u", (0.5, 1.0, -0.2)),
+    ])
+    def test_parametric_inverse(self, name, params):
+        g = gate(name, *params)
+        inv = g.inverse()
+        prod = inv.matrix() @ g.matrix()
+        assert np.allclose(prod, np.eye(prod.shape[0]), atol=1e-10)
+
+
+class TestDirectives:
+    def test_directive_names(self):
+        for name in ("measure", "barrier", "reset", "delay"):
+            assert is_directive(name)
+            assert name in DIRECTIVES
+
+    def test_basis_gates_constant(self):
+        assert BASIS_GATES == ("rz", "sx", "x", "cx")

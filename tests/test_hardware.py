@@ -1,0 +1,186 @@
+"""Unit tests for topologies, calibration, crosstalk, devices."""
+
+import pytest
+
+from repro.hardware import (
+    CouplingMap,
+    generate_calibration,
+    generate_crosstalk_model,
+    ibm_manhattan,
+    ibm_melbourne,
+    ibm_toronto,
+    linear_device,
+)
+from repro.hardware.devices import MELBOURNE_FIG1_CX_PERCENT
+
+
+class TestCouplingMap:
+    def test_edges_normalized_sorted(self):
+        cm = CouplingMap(3, [(2, 1), (1, 0)])
+        assert cm.edges == ((0, 1), (1, 2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_distance(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert cm.distance(0, 3) == 3
+        assert cm.distance(1, 1) == 0
+
+    def test_pair_distance_shared_qubit_is_zero(self):
+        cm = CouplingMap(3, [(0, 1), (1, 2)])
+        assert cm.pair_distance((0, 1), (1, 2)) == 0
+
+    def test_pair_distance_one_hop(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert cm.pair_distance((0, 1), (2, 3)) == 1
+
+    def test_pair_distance_two_hops(self):
+        cm = CouplingMap(6, [(i, i + 1) for i in range(5)])
+        assert cm.pair_distance((0, 1), (3, 4)) == 2
+
+    def test_one_hop_pairs_of_edge(self):
+        cm = CouplingMap(6, [(i, i + 1) for i in range(5)])
+        assert cm.one_hop_pairs((0, 1)) == ((2, 3),)
+
+    def test_connected_subset(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert cm.is_connected_subset([0, 1, 2])
+        assert not cm.is_connected_subset([0, 2])
+        assert not cm.is_connected_subset([])
+
+    def test_subgraph_and_boundary_edges(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert cm.subgraph_edges([0, 1, 2]) == ((0, 1), (1, 2))
+        assert cm.boundary_edges([0, 1]) == ((1, 2),)
+
+
+class TestCalibration:
+    def test_seeded_reproducibility(self):
+        cm = CouplingMap(5, [(i, i + 1) for i in range(4)])
+        a = generate_calibration(cm, seed=3)
+        b = generate_calibration(cm, seed=3)
+        assert a.twoq_error == b.twoq_error
+        assert a.readout_error == b.readout_error
+
+    def test_all_fields_populated(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        cal = generate_calibration(cm, seed=1)
+        assert set(cal.oneq_error) == {0, 1, 2, 3}
+        assert set(cal.twoq_error) == set(cm.edges)
+        for q in range(4):
+            assert cal.t2[q] <= 2 * cal.t1[q] + 1e-6
+
+    def test_error_ranges_physical(self):
+        cm = CouplingMap(10, [(i, i + 1) for i in range(9)])
+        cal = generate_calibration(cm, seed=5)
+        assert all(0 < e < 0.2 for e in cal.twoq_error.values())
+        assert all(0 < e < 0.02 for e in cal.oneq_error.values())
+        assert all(0 < p01 < 0.3 and 0 < p10 < 0.35
+                   for p01, p10 in cal.readout_error.values())
+
+    def test_fixed_cx_errors_pinned(self):
+        cm = CouplingMap(3, [(0, 1), (1, 2)])
+        cal = generate_calibration(cm, seed=0,
+                                   fixed_cx_errors={(1, 0): 0.042})
+        assert cal.cx_error(0, 1) == pytest.approx(0.042)
+
+    def test_fixed_cx_error_unknown_link_rejected(self):
+        cm = CouplingMap(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            generate_calibration(cm, seed=0,
+                                 fixed_cx_errors={(0, 2): 0.01})
+
+    def test_worst_links(self):
+        cm = CouplingMap(10, [(i, i + 1) for i in range(9)])
+        cal = generate_calibration(cm, seed=5)
+        worst = cal.worst_links(quantile=0.8)
+        assert 0 < len(worst) <= 3
+
+
+class TestCrosstalkModel:
+    def test_factors_symmetric_lookup(self):
+        cm = CouplingMap(6, [(i, i + 1) for i in range(5)])
+        model = generate_crosstalk_model(cm, seed=2)
+        e1, e2 = (0, 1), (2, 3)
+        assert model.factor(e1, e2) == model.factor(e2, e1)
+
+    def test_distant_pairs_unity(self):
+        cm = CouplingMap(6, [(i, i + 1) for i in range(5)])
+        model = generate_crosstalk_model(cm, seed=2)
+        assert model.factor((0, 1), (4, 5)) == 1.0
+
+    def test_one_hop_pairs_at_least_mild(self):
+        cm = CouplingMap(6, [(i, i + 1) for i in range(5)])
+        model = generate_crosstalk_model(cm, seed=2, mild_factor=1.2)
+        for e1, e2 in cm.all_one_hop_edge_pairs():
+            assert model.factor(e1, e2) >= 1.2
+
+    def test_combined_factor_multiplies(self):
+        cm = CouplingMap(7, [(i, i + 1) for i in range(6)])
+        model = generate_crosstalk_model(cm, seed=0, affected_fraction=1.0,
+                                         factor_low=2.0, factor_high=2.0)
+        combined = model.combined_factor(
+            (2, 3), ((0, 1), (4, 5)))
+        assert combined == pytest.approx(4.0)
+
+    def test_affected_pairs_threshold(self):
+        cm = CouplingMap(8, [(i, i + 1) for i in range(7)])
+        model = generate_crosstalk_model(cm, seed=1, affected_fraction=0.5)
+        affected = model.affected_pairs(threshold=1.5)
+        assert all(model.factor(*p) >= 1.5 for p in affected)
+
+
+class TestDevices:
+    def test_chip_shapes(self):
+        assert ibm_melbourne().num_qubits == 15
+        assert ibm_toronto().num_qubits == 27
+        assert ibm_manhattan().num_qubits == 65
+
+    def test_link_counts_match_paper_table1(self):
+        # Table I's "1-hop pairs" row counts device links.
+        assert len(ibm_toronto().coupling.edges) == 28
+        assert len(ibm_manhattan().coupling.edges) == 72
+
+    def test_melbourne_fig1_errors_pinned(self):
+        dev = ibm_melbourne()
+        for edge, percent in MELBOURNE_FIG1_CX_PERCENT.items():
+            assert dev.calibration.cx_error(*edge) == pytest.approx(
+                percent / 100.0)
+
+    def test_devices_cached(self):
+        assert ibm_toronto() is ibm_toronto()
+
+    def test_noise_model_matches_calibration(self, toronto):
+        nm = toronto.noise_model()
+        assert nm.twoq_error_of(0, 1) == toronto.calibration.cx_error(0, 1)
+        assert nm.readout_error_of(5) == pytest.approx(
+            toronto.calibration.readout_error_avg(5))
+
+    def test_throughput(self, manhattan):
+        assert manhattan.throughput(5) == pytest.approx(5 / 65)
+
+    def test_linear_device(self):
+        dev = linear_device(4, seed=0)
+        assert dev.coupling.edges == ((0, 1), (1, 2), (2, 3))
+
+
+class TestNoiseModelRestriction:
+    def test_restricted_remaps_indices(self, toronto):
+        nm = toronto.noise_model()
+        sub = nm.restricted((3, 5, 8))
+        # local (0,1) is physical (3,5); (1,2) is (5,8).
+        assert sub.twoq_error_of(0, 1) == toronto.calibration.cx_error(3, 5)
+        assert sub.twoq_error_of(1, 2) == toronto.calibration.cx_error(5, 8)
+        assert sub.oneq_error_of(2) == toronto.calibration.oneq_error[8]
+
+    def test_restricted_drops_external_edges(self, toronto):
+        nm = toronto.noise_model()
+        sub = nm.restricted((0, 1))
+        assert sub.twoq_error_of(0, 1) > 0
+        assert len(sub.twoq_error) == 1

@@ -1,0 +1,121 @@
+"""Integration tests: full pipelines across modules, mirroring the
+paper's experiments at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cna_allocate,
+    cna_transpile_for_partition,
+    execute_allocation,
+    qucp_allocate,
+    select_parallel_count,
+)
+from repro.sim import ideal_probabilities
+from repro.workloads import workload
+
+
+class TestQucpEndToEnd:
+    def test_three_adders_on_toronto(self, toronto):
+        """Fig. 3-style run: three deterministic programs in parallel."""
+        circuits = [workload("adder").circuit() for _ in range(3)]
+        alloc = qucp_allocate(circuits, toronto)
+        outcomes = execute_allocation(alloc, shots=4096, seed=1)
+        assert len(outcomes) == 3
+        for out in outcomes:
+            assert out.pst() > 0.25       # well above random (1/16)
+            assert out.jsd() < 0.7
+
+    def test_mixed_combo(self, toronto):
+        """qec-var-bell: distribution-output programs scored by JSD."""
+        circuits = [workload(n).circuit() for n in ("qec", "var", "bell")]
+        alloc = qucp_allocate(circuits, toronto)
+        outcomes = execute_allocation(alloc, shots=4096, seed=2)
+        for out in outcomes:
+            assert 0.0 <= out.jsd() < 0.6
+
+    def test_parallel_fidelity_close_to_solo(self, toronto):
+        """Parallel execution costs some fidelity but not all of it."""
+        qc = workload("fredkin").circuit()
+        solo_alloc = qucp_allocate([qc], toronto)
+        solo = execute_allocation(solo_alloc, shots=0, seed=3)[0]
+        triple_alloc = qucp_allocate(
+            [workload("fredkin").circuit() for _ in range(3)], toronto)
+        triple = execute_allocation(triple_alloc, shots=0, seed=3)
+        solo_pst = solo.pst()
+        for out in triple:
+            assert out.pst() > 0.5 * solo_pst
+
+    def test_unmeasured_program_rejected(self, toronto):
+        qc = workload("adder").circuit(measured=False)
+        alloc = qucp_allocate([qc], toronto)
+        with pytest.raises(ValueError):
+            execute_allocation(alloc, shots=16)
+
+
+class TestCnaEndToEnd:
+    def test_cna_transpiler_hook(self, toronto):
+        circuits = [workload("adder").circuit() for _ in range(3)]
+        alloc = cna_allocate(circuits, toronto)
+
+        def cna_transpiler(circuit, device, allocation):
+            return cna_transpile_for_partition(
+                circuit, device, allocation.partition,
+                allocation.crosstalk_pairs)
+
+        outcomes = execute_allocation(alloc, shots=2048, seed=5,
+                                      transpiler_fn=cna_transpiler)
+        assert len(outcomes) == 3
+        for out in outcomes:
+            assert out.pst() > 0.1
+
+
+class TestQucpVsCnaShape:
+    def test_qucp_not_worse_on_average(self, toronto):
+        """The paper's Fig. 3 headline, at reduced scale: mean PST of
+        QuCP >= mean PST of CNA (within sampling noise)."""
+        from repro.core import cna_compile
+
+        names = ["adder", "fred", "alu"]
+        circuits = [workload(n).circuit() for n in names]
+
+        qucp_out = execute_allocation(
+            qucp_allocate(circuits, toronto), shots=0, seed=11)
+        cna = cna_compile(circuits, toronto)
+        cna_out = execute_allocation(cna.allocation, shots=0, seed=11,
+                                     transpiler_fn=cna.transpiler_fn())
+        qucp_mean = np.mean([o.pst() for o in qucp_out])
+        cna_mean = np.mean([o.pst() for o in cna_out])
+        assert qucp_mean >= cna_mean - 0.03
+
+
+class TestThresholdIntegration:
+    def test_admitted_copies_execute(self, manhattan):
+        qc = workload("4mod5-v1_22").circuit()
+        decision = select_parallel_count(qc, manhattan, threshold=0.5,
+                                         max_copies=4)
+        outcomes = execute_allocation(decision.allocation, shots=1024,
+                                      seed=7)
+        assert len(outcomes) == decision.num_parallel
+        for out in outcomes:
+            assert out.pst() > 0.2
+
+
+class TestMeasuredVsIdealConsistency:
+    def test_noiseless_execution_matches_ideal(self, toronto):
+        """With crosstalk and noise disabled the executor reproduces the
+        ideal distribution through the whole transpile pipeline."""
+        qc = workload("linearsolver").circuit()
+        alloc = qucp_allocate([qc], toronto)
+        out = execute_allocation(alloc, shots=0, seed=0,
+                                 include_crosstalk=False)[0]
+        # Run the same transpiled program without noise.
+        from repro.sim.executor import Program, run_parallel
+
+        res = run_parallel(
+            [Program(out.transpiled.circuit, out.allocation.partition)],
+            toronto, shots=0, noisy=False)[0]
+        ideal = ideal_probabilities(qc)
+        for key, p in ideal.items():
+            assert res.probabilities.get(key, 0.0) == pytest.approx(
+                p, abs=1e-6)

@@ -1,0 +1,80 @@
+"""Unit tests for the circuit constructors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    bell_pair,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+    w_state_circuit,
+)
+from repro.sim import simulate_statevector
+
+
+class TestBellAndGhz:
+    def test_bell_amplitudes(self):
+        sv = simulate_statevector(bell_pair())
+        assert sv[0] == pytest.approx(1 / math.sqrt(2))
+        assert sv[3] == pytest.approx(1 / math.sqrt(2))
+        assert abs(sv[1]) < 1e-12 and abs(sv[2]) < 1e-12
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_ghz_amplitudes(self, n):
+        sv = simulate_statevector(ghz_circuit(n))
+        assert abs(sv[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(sv[-1]) == pytest.approx(1 / math.sqrt(2))
+        assert np.sum(np.abs(sv) ** 2) == pytest.approx(1.0)
+
+    def test_ghz_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(0)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_w_state_uniform_single_excitation(self, n):
+        sv = simulate_statevector(w_state_circuit(n))
+        expected_amp = 1 / math.sqrt(n)
+        for idx, amp in enumerate(sv):
+            ones = bin(idx).count("1")
+            if ones == 1:
+                assert abs(amp) == pytest.approx(expected_amp, abs=1e-9)
+            else:
+                assert abs(amp) < 1e-9
+
+
+class TestQft:
+    def test_qft_of_zero_is_uniform(self):
+        sv = simulate_statevector(qft_circuit(3))
+        assert np.allclose(np.abs(sv), 1 / math.sqrt(8))
+
+    def test_qft_matrix_matches_dft(self):
+        from repro.sim import circuit_unitary
+
+        n = 3
+        u = circuit_unitary(qft_circuit(n))
+        dim = 2 ** n
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array([[omega ** (j * k) for k in range(dim)]
+                        for j in range(dim)]) / math.sqrt(dim)
+        assert np.allclose(u, dft, atol=1e-9)
+
+
+class TestRandomCircuit:
+    def test_deterministic_for_seed(self):
+        a = random_circuit(4, 5, seed=3)
+        b = random_circuit(4, 5, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(4, 5, seed=3)
+        b = random_circuit(4, 5, seed=4)
+        assert a != b
+
+    def test_respects_qubit_count(self):
+        qc = random_circuit(3, 10, seed=0)
+        assert all(max(i.qubits) < 3 for i in qc)

@@ -1,0 +1,84 @@
+"""Unit tests for the extended circuit library (BV, DJ, QV)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    bernstein_vazirani_circuit,
+    deutsch_jozsa_circuit,
+    quantum_volume_circuit,
+)
+from repro.sim import ideal_probabilities, simulate_statevector
+
+
+def _measured_data_qubits(qc, n):
+    qc = qc.copy()
+    qc.num_clbits = n
+    for q in range(n):
+        qc.measure(q, q)
+    return qc
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["0", "1", "101", "1111", "0010"])
+    def test_recovers_secret_deterministically(self, secret):
+        qc = _measured_data_qubits(
+            bernstein_vazirani_circuit(secret), len(secret))
+        probs = ideal_probabilities(qc)
+        assert probs[secret] == pytest.approx(1.0)
+
+    def test_bad_secret_rejected(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("10a")
+
+    def test_one_query_structure(self):
+        qc = bernstein_vazirani_circuit("110")
+        assert qc.num_cx() == 2  # one CX per set bit
+
+
+class TestDeutschJozsa:
+    def test_balanced_never_all_zeros(self):
+        qc = _measured_data_qubits(deutsch_jozsa_circuit(3, True), 3)
+        probs = ideal_probabilities(qc)
+        assert probs.get("000", 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_always_all_zeros(self):
+        qc = _measured_data_qubits(deutsch_jozsa_circuit(3, False), 3)
+        probs = ideal_probabilities(qc)
+        assert probs.get("000", 0.0) == pytest.approx(1.0)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            deutsch_jozsa_circuit(0)
+
+
+class TestQuantumVolume:
+    def test_square_by_default(self):
+        qc = quantum_volume_circuit(4, seed=0)
+        assert qc.count_ops()["cx"] == 2 * 4  # 2 pairs per layer x 4
+
+    def test_seeded_reproducible(self):
+        assert quantum_volume_circuit(3, seed=7) == \
+            quantum_volume_circuit(3, seed=7)
+
+    def test_state_normalized(self):
+        sv = simulate_statevector(quantum_volume_circuit(4, seed=3))
+        assert np.sum(np.abs(sv) ** 2) == pytest.approx(1.0)
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            quantum_volume_circuit(1)
+
+    def test_heavy_output_probability_above_half(self):
+        """QV model circuits have heavy-output probability ~0.85
+        ideally; check it exceeds the 2/3 QV threshold."""
+        rng_heavy = []
+        for seed in range(5):
+            qc = quantum_volume_circuit(4, seed=seed)
+            probs = np.abs(simulate_statevector(qc)) ** 2
+            median = np.median(probs)
+            heavy = probs[probs > median].sum()
+            rng_heavy.append(heavy)
+        assert np.mean(rng_heavy) > 2 / 3

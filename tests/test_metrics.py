@@ -1,0 +1,127 @@
+"""Unit tests for PST, JSD, and EFS."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    estimated_fidelity_score,
+    hardware_throughput,
+    jensen_shannon_divergence,
+    kl_divergence,
+    normalize_distribution,
+    pst,
+)
+
+
+class TestPst:
+    def test_all_successful(self):
+        assert pst({"01": 100}, "01") == 1.0
+
+    def test_partial(self):
+        assert pst({"01": 75, "11": 25}, "01") == 0.75
+
+    def test_missing_key_is_zero(self):
+        assert pst({"00": 10}, "11") == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pst({}, "0")
+
+
+class TestKl:
+    def test_identical_zero(self):
+        p = {"0": 0.5, "1": 0.5}
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_infinite_when_support_mismatch(self):
+        assert kl_divergence({"0": 1.0}, {"1": 1.0}) == math.inf
+
+    def test_known_value(self):
+        p = {"0": 1.0}
+        q = {"0": 0.5, "1": 0.5}
+        assert kl_divergence(p, q) == pytest.approx(1.0)  # log2(2)
+
+
+class TestJsd:
+    def test_identical_distributions(self):
+        p = {"00": 0.25, "01": 0.75}
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_support_is_one(self):
+        assert jensen_shannon_divergence(
+            {"0": 1.0}, {"1": 1.0}) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = {"0": 0.9, "1": 0.1}
+        q = {"0": 0.4, "1": 0.6}
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p))
+
+    def test_always_finite_unlike_kl(self):
+        p = {"0": 1.0}
+        q = {"1": 1.0}
+        assert kl_divergence(p, q) == math.inf
+        assert jensen_shannon_divergence(p, q) <= 1.0
+
+    def test_accepts_counts(self):
+        a = {"0": 900, "1": 100}
+        b = {"0": 0.9, "1": 0.1}
+        assert jensen_shannon_divergence(a, b) == pytest.approx(0.0,
+                                                                abs=1e-12)
+
+    def test_normalize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_distribution({})
+
+
+class TestEfs:
+    def test_formula_components(self, toronto):
+        partition = (0, 1, 2)
+        efs = estimated_fidelity_score(
+            partition, toronto.coupling, toronto.calibration,
+            num_twoq_gates=10, num_oneq_gates=20)
+        cal = toronto.calibration
+        edges = toronto.coupling.subgraph_edges(partition)
+        avg2 = sum(cal.cx_error(*e) for e in edges) / len(edges)
+        avg1 = sum(cal.oneq_error[q] for q in partition) / 3
+        ro = sum(cal.readout_error_avg(q) for q in partition)
+        assert efs == pytest.approx(avg2 * 10 + avg1 * 20 + ro)
+
+    def test_sigma_inflates_crosstalk_pairs(self, toronto):
+        partition = (0, 1, 2)
+        base = estimated_fidelity_score(
+            partition, toronto.coupling, toronto.calibration, 10, 0)
+        boosted = estimated_fidelity_score(
+            partition, toronto.coupling, toronto.calibration, 10, 0,
+            crosstalk_pairs=[(0, 1)], sigma=4.0)
+        assert boosted > base
+
+    def test_sigma_one_is_neutral(self, toronto):
+        partition = (0, 1, 2)
+        a = estimated_fidelity_score(
+            partition, toronto.coupling, toronto.calibration, 5, 5)
+        b = estimated_fidelity_score(
+            partition, toronto.coupling, toronto.calibration, 5, 5,
+            crosstalk_pairs=[(0, 1)], sigma=1.0)
+        assert a == pytest.approx(b)
+
+    def test_edgeless_partition_with_twoq_gates_penalized(self, toronto):
+        # Qubits 0 and 2 are not connected on Toronto.
+        efs = estimated_fidelity_score(
+            (0, 2), toronto.coupling, toronto.calibration, 5, 0)
+        assert efs > 1.0
+
+
+class TestThroughput:
+    def test_simple_ratio(self):
+        assert hardware_throughput(12, 27) == pytest.approx(12 / 27)
+
+    def test_paper_fig1_values(self):
+        # Fig. 1: one 4q circuit on the 15-qubit Melbourne = 26.7%.
+        assert hardware_throughput(4, 15) == pytest.approx(0.267, abs=1e-3)
+        assert hardware_throughput(8, 15) == pytest.approx(0.533, abs=1e-3)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            hardware_throughput(1, 0)

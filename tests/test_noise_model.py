@@ -1,0 +1,117 @@
+"""Unit tests for NoiseModel channel construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.circuit import Instruction
+from repro.circuits.gates import Gate, gate
+from repro.sim import NoiseModel
+
+
+def _inst(name, qubits, *params):
+    return Instruction(gate(name, *params), tuple(qubits))
+
+
+@pytest.fixture
+def model():
+    return NoiseModel(
+        oneq_error={0: 1e-3, 1: 2e-3},
+        twoq_error={(0, 1): 1e-2, (1, 2): 3e-2},
+        readout_error={0: (0.02, 0.04)},
+        t1={0: 100_000.0},
+        t2={0: 80_000.0},
+        detuning={0: 1e-5},
+    )
+
+
+class TestLookups:
+    def test_oneq_error(self, model):
+        assert model.oneq_error_of(0) == 1e-3
+        assert model.oneq_error_of(9) == 0.0
+
+    def test_twoq_error_order_insensitive(self, model):
+        assert model.twoq_error_of(1, 0) == 1e-2
+        assert model.twoq_error_of(0, 1) == 1e-2
+        assert model.twoq_error_of(0, 5) == 0.0
+
+    def test_readout_symmetrized(self, model):
+        assert model.readout_error_of(0) == pytest.approx(0.03)
+        assert model.readout_error_of(7) == 0.0
+
+    def test_confusion_matrix(self, model):
+        conf = model.confusion_matrix(0)
+        assert conf[1, 0] == pytest.approx(0.02)
+        assert conf[0, 1] == pytest.approx(0.04)
+        assert np.allclose(conf.sum(axis=0), 1.0)
+
+    def test_detuning(self, model):
+        assert model.detuning_of(0) == 1e-5
+        assert model.detuning_of(3) == 0.0
+
+
+class TestChannelFor:
+    def test_oneq_channel(self, model):
+        ch = model.channel_for(_inst("x", [0]))
+        assert ch is not None
+        assert ch.num_qubits == 1
+
+    def test_twoq_channel(self, model):
+        ch = model.channel_for(_inst("cx", [0, 1]))
+        assert ch is not None
+        assert ch.num_qubits == 2
+
+    def test_zero_error_gives_none(self, model):
+        assert model.channel_for(_inst("x", [5])) is None
+
+    def test_directives_noiseless(self, model):
+        assert model.channel_for(
+            Instruction(Gate("barrier", 1), (0,))) is None
+        assert model.channel_for(
+            Instruction(Gate("measure", 1), (0,), (0,))) is None
+
+    def test_error_scale_amplifies(self, model):
+        base = model.channel_for(_inst("cx", [0, 1]))
+        boosted = model.channel_for(_inst("cx", [0, 1]), error_scale=4.0)
+        # Identity Kraus weight shrinks when the error grows.
+        w_base = np.abs(base.operators[0][0, 0]) ** 2
+        w_boost = np.abs(boosted.operators[0][0, 0]) ** 2
+        assert w_boost < w_base
+
+    def test_scale_caps_at_valid_probability(self, model):
+        ch = model.channel_for(_inst("cx", [1, 2]), error_scale=1e6)
+        assert ch is not None  # clipped, not crashing
+
+    def test_threeq_gate_approximated(self, model):
+        model.twoq_error[(0, 2)] = 2e-2
+        ch = model.channel_for(_inst("ccx", [0, 1, 2]))
+        assert ch is not None
+        assert ch.num_qubits == 2
+
+    def test_delay_channel_requires_t1(self, model):
+        ch = model.channel_for(
+            Instruction(Gate("delay", 1, (1000.0,)), (0,)))
+        assert ch is not None
+        none_ch = model.channel_for(
+            Instruction(Gate("delay", 1, (1000.0,)), (1,)))
+        assert none_ch is None  # qubit 1 has no T1 data
+
+    def test_zero_duration_delay_noiseless(self, model):
+        ch = model.channel_for(
+            Instruction(Gate("delay", 1, (0.0,)), (0,)))
+        assert ch is None
+
+
+class TestRestriction:
+    def test_restriction_preserves_durations(self, model):
+        model.gate_duration["cx"] = 300.0
+        sub = model.restricted((1, 2))
+        assert sub.gate_duration["cx"] == 300.0
+
+    def test_restriction_remaps_everything(self, model):
+        sub = model.restricted((1, 0))
+        # local 0 = physical 1, local 1 = physical 0.
+        assert sub.oneq_error_of(0) == 2e-3
+        assert sub.oneq_error_of(1) == 1e-3
+        assert sub.twoq_error_of(0, 1) == 1e-2
+        assert sub.detuning_of(1) == 1e-5

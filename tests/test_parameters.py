@@ -1,0 +1,143 @@
+"""Unit tests for symbolic circuit parameters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Parameter,
+    ParameterExpression,
+    QuantumCircuit,
+    UnboundParameterError,
+    gate,
+)
+from repro.sim import simulate_statevector
+
+
+class TestParameterAlgebra:
+    def test_identity(self):
+        theta = Parameter("theta")
+        assert theta.parameters == {theta}
+        assert theta.bind({theta: 1.5}) == 1.5
+
+    def test_affine_arithmetic(self):
+        t = Parameter("t")
+        expr = 2 * t + 0.5
+        assert expr.bind({t: 1.0}) == pytest.approx(2.5)
+        expr2 = (t + t) / 2 - 0.25
+        assert expr2.bind({t: 3.0}) == pytest.approx(2.75)
+
+    def test_negation_and_rsub(self):
+        t = Parameter("t")
+        assert (-t).bind({t: 2.0}) == -2.0
+        assert (1.0 - t).bind({t: 0.25}) == pytest.approx(0.75)
+
+    def test_multi_parameter(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = a + 3 * b
+        partial = expr.bind({a: 1.0})
+        assert isinstance(partial, ParameterExpression)
+        assert partial.bind({b: 2.0}) == pytest.approx(7.0)
+
+    def test_value_requires_full_binding(self):
+        t = Parameter("t")
+        with pytest.raises(UnboundParameterError):
+            (t + 1).value()
+
+    def test_nonlinear_rejected(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(TypeError):
+            _ = a * b
+
+    def test_distinct_parameters_not_equal(self):
+        assert Parameter("x") != Parameter("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+
+class TestParameterizedGates:
+    def test_gate_accepts_expression(self):
+        t = Parameter("t")
+        g = gate("rz", t)
+        assert g.is_parameterized
+
+    def test_matrix_requires_binding(self):
+        t = Parameter("t")
+        with pytest.raises(UnboundParameterError):
+            gate("rz", t).matrix()
+
+    def test_bound_gate(self):
+        t = Parameter("t")
+        g = gate("rz", 2 * t).bound({t: 0.5})
+        assert not g.is_parameterized
+        ref = gate("rz", 1.0).matrix()
+        assert np.allclose(g.matrix(), ref)
+
+    def test_inverse_of_symbolic_gate(self):
+        t = Parameter("t")
+        inv = gate("rz", t).inverse()
+        bound = inv.bound({t: 0.7})
+        assert np.allclose(bound.matrix(), gate("rz", -0.7).matrix())
+
+
+class TestParameterizedCircuits:
+    def test_parameters_collected(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(2)
+        qc.ry(a, 0)
+        qc.rz(a + b, 1)
+        assert qc.parameters == {a, b}
+
+    def test_bind_all(self):
+        t = Parameter("t")
+        qc = QuantumCircuit(1)
+        qc.ry(t, 0).rz(2 * t, 0)
+        bound = qc.bind_parameters({t: 0.3})
+        assert not bound.is_parameterized()
+        ref = QuantumCircuit(1).ry(0.3, 0).rz(0.6, 0)
+        assert np.allclose(simulate_statevector(bound),
+                           simulate_statevector(ref))
+
+    def test_partial_binding(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(1)
+        qc.ry(a, 0).rz(b, 0)
+        partial = qc.bind_parameters({a: 0.5})
+        assert partial.parameters == {b}
+
+    def test_original_unchanged_by_binding(self):
+        t = Parameter("t")
+        qc = QuantumCircuit(1)
+        qc.ry(t, 0)
+        qc.bind_parameters({t: 1.0})
+        assert qc.is_parameterized()
+
+    def test_simulation_of_unbound_rejected(self):
+        t = Parameter("t")
+        qc = QuantumCircuit(1)
+        qc.rx(t, 0)
+        with pytest.raises(UnboundParameterError):
+            simulate_statevector(qc)
+
+    def test_fixed_gates_unaffected(self):
+        t = Parameter("t")
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(t, 1)
+        bound = qc.bind_parameters({t: math.pi})
+        assert bound.count_ops() == {"h": 1, "cx": 1, "rz": 1}
+
+    def test_parameterized_ansatz_sweep(self):
+        """A parameterized ansatz template bound across a sweep matches
+        per-value construction."""
+        t = Parameter("theta")
+        template = QuantumCircuit(2)
+        template.ry(t, 0).ry(t, 1).cx(1, 0).rz(t / 2, 0)
+        for value in (-1.0, 0.0, 2.2):
+            bound = template.bind_parameters({t: value})
+            direct = QuantumCircuit(2)
+            direct.ry(value, 0).ry(value, 1).cx(1, 0).rz(value / 2, 0)
+            assert np.allclose(simulate_statevector(bound),
+                               simulate_statevector(direct))

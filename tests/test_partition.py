@@ -1,0 +1,65 @@
+"""Unit tests for partition candidate generation and crosstalk suspects."""
+
+import pytest
+
+from repro.core import crosstalk_suspect_pairs, grow_partition_candidates
+
+
+class TestCandidates:
+    def test_candidates_are_connected(self, toronto):
+        for cand in grow_partition_candidates(
+                4, toronto.coupling, toronto.calibration):
+            assert toronto.coupling.is_connected_subset(cand.qubits)
+
+    def test_candidates_have_requested_size(self, toronto):
+        for cand in grow_partition_candidates(
+                5, toronto.coupling, toronto.calibration):
+            assert len(cand) == 5
+
+    def test_candidates_avoid_allocated(self, toronto):
+        allocated = (0, 1, 2, 3, 4)
+        for cand in grow_partition_candidates(
+                3, toronto.coupling, toronto.calibration,
+                allocated=allocated):
+            assert not set(cand.qubits) & set(allocated)
+
+    def test_no_duplicates(self, toronto):
+        cands = grow_partition_candidates(
+            4, toronto.coupling, toronto.calibration)
+        regions = [c.qubits for c in cands]
+        assert len(regions) == len(set(regions))
+
+    def test_exhausted_device_returns_empty(self, line5):
+        cands = grow_partition_candidates(
+            3, line5.coupling, line5.calibration,
+            allocated=(0, 1, 2, 3))
+        assert cands == []
+
+    def test_full_device_single_candidate(self, line5):
+        cands = grow_partition_candidates(
+            5, line5.coupling, line5.calibration)
+        assert len(cands) == 1
+        assert cands[0].qubits == (0, 1, 2, 3, 4)
+
+
+class TestCrosstalkSuspects:
+    def test_no_allocations_no_suspects(self, toronto):
+        assert crosstalk_suspect_pairs((0, 1, 2), toronto.coupling,
+                                       []) == ()
+
+    def test_adjacent_partition_flags_links(self, toronto):
+        # (0,1) and (4,7) are one hop apart on Toronto (via 1-4).
+        suspects = crosstalk_suspect_pairs(
+            (0, 1), toronto.coupling, [(4, 7)])
+        assert (0, 1) in suspects
+
+    def test_distant_partition_no_suspects(self, manhattan):
+        suspects = crosstalk_suspect_pairs(
+            (0, 1), manhattan.coupling, [(63, 64)])
+        assert suspects == ()
+
+    def test_suspects_are_internal_links(self, toronto):
+        suspects = crosstalk_suspect_pairs(
+            (0, 1, 2, 3), toronto.coupling, [(4, 7), (7, 10)])
+        internal = set(toronto.coupling.subgraph_edges((0, 1, 2, 3)))
+        assert set(suspects) <= internal

@@ -1,0 +1,67 @@
+"""Unit tests for single-qubit process tomography (PTM)."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import process_tomography_1q
+
+
+class TestIdealChannels:
+    def test_identity_ptm(self):
+        res = process_tomography_1q("id")
+        assert np.allclose(res.ptm, np.eye(4), atol=1e-9)
+        assert res.average_gate_fidelity() == pytest.approx(1.0)
+
+    def test_x_gate_ptm(self):
+        res = process_tomography_1q("x")
+        assert np.allclose(np.diag(res.ptm), [1, 1, -1, -1], atol=1e-9)
+
+    def test_z_gate_ptm(self):
+        res = process_tomography_1q("z")
+        assert np.allclose(np.diag(res.ptm), [1, -1, -1, 1], atol=1e-9)
+
+    def test_hadamard_swaps_x_and_z(self):
+        res = process_tomography_1q("h")
+        assert res.ptm[1, 3] == pytest.approx(1.0, abs=1e-9)  # Z -> X
+        assert res.ptm[3, 1] == pytest.approx(1.0, abs=1e-9)  # X -> Z
+        assert res.ptm[2, 2] == pytest.approx(-1.0, abs=1e-9)
+
+    def test_rz_rotation_block(self):
+        theta = 0.7
+        res = process_tomography_1q("rz", params=(theta,))
+        assert res.ptm[1, 1] == pytest.approx(np.cos(theta), abs=1e-9)
+        assert res.ptm[2, 1] == pytest.approx(np.sin(theta), abs=1e-9)
+
+    def test_ideal_channels_unital(self):
+        for name in ("id", "x", "h", "s"):
+            assert process_tomography_1q(name).is_unital()
+
+    def test_first_row_trace_preserving(self):
+        res = process_tomography_1q("h")
+        assert np.allclose(res.ptm[0], [1, 0, 0, 0], atol=1e-9)
+
+
+class TestNoisyChannels:
+    def test_noisy_gate_contracts_bloch_sphere(self, toronto):
+        res = process_tomography_1q("x", device=toronto, qubit=0)
+        diag = np.abs(np.diag(res.ptm)[1:])
+        assert np.all(diag < 1.0)
+        assert np.all(diag > 0.97)  # small 1q errors
+
+    def test_noisy_fidelity_below_one(self, toronto):
+        res = process_tomography_1q("id", device=toronto, qubit=0)
+        assert 0.99 < res.average_gate_fidelity() < 1.0
+
+    def test_worse_qubit_lower_fidelity(self, toronto):
+        errors = toronto.calibration.oneq_error
+        best = min(errors, key=errors.get)
+        worst = max(errors, key=errors.get)
+        ideal_x = process_tomography_1q("x").ptm
+        f_best = process_tomography_1q(
+            "x", device=toronto,
+            qubit=best).average_gate_fidelity(ideal_x)
+        f_worst = process_tomography_1q(
+            "x", device=toronto,
+            qubit=worst).average_gate_fidelity(ideal_x)
+        assert f_worst < f_best
+        assert 0.98 < f_worst < f_best <= 1.0

@@ -1,0 +1,142 @@
+"""Property-based tests over randomized device topologies and the
+allocation/queueing layers."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import JobSpec, batched_speedup, simulate_fifo_queue
+from repro.core.partition import (
+    crosstalk_suspect_pairs,
+    grow_partition_candidates,
+)
+from repro.hardware import (
+    CouplingMap,
+    generate_calibration,
+    generate_crosstalk_model,
+)
+
+
+@st.composite
+def random_coupling(draw, min_qubits=4, max_qubits=12):
+    """A connected random device topology (tree plus extra edges)."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    seed = draw(st.integers(0, 10_000))
+    graph = nx.random_labeled_tree(n, seed=seed)
+    extra = draw(st.integers(0, n // 2))
+    rng = nx.utils.create_random_state(seed + 1)
+    nodes = list(graph.nodes)
+    for _ in range(extra):
+        a, b = rng.choice(len(nodes)), rng.choice(len(nodes))
+        if a != b:
+            graph.add_edge(nodes[a], nodes[b])
+    return CouplingMap(n, tuple(graph.edges))
+
+
+class TestTopologyProperties:
+    @given(random_coupling())
+    @settings(max_examples=30, deadline=None)
+    def test_pair_distance_symmetric(self, coupling):
+        edges = coupling.edges
+        for i, e1 in enumerate(edges[:6]):
+            for e2 in edges[i:i + 6]:
+                assert coupling.pair_distance(e1, e2) == \
+                    coupling.pair_distance(e2, e1)
+
+    @given(random_coupling())
+    @settings(max_examples=30, deadline=None)
+    def test_one_hop_pairs_are_disjoint_links(self, coupling):
+        for e1, e2 in coupling.all_one_hop_edge_pairs():
+            assert not set(e1) & set(e2)
+            assert coupling.pair_distance(e1, e2) == 1
+
+    @given(random_coupling())
+    @settings(max_examples=30, deadline=None)
+    def test_distance_triangle_inequality(self, coupling):
+        n = coupling.num_qubits
+        for a in range(min(n, 4)):
+            for b in range(min(n, 4)):
+                for c in range(min(n, 4)):
+                    assert coupling.distance(a, c) <= \
+                        coupling.distance(a, b) + coupling.distance(b, c)
+
+
+class TestCalibrationProperties:
+    @given(random_coupling(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_calibration_complete_and_physical(self, coupling,
+                                                         seed):
+        cal = generate_calibration(coupling, seed=seed)
+        assert set(cal.twoq_error) == set(coupling.edges)
+        for q in range(coupling.num_qubits):
+            assert 0 < cal.oneq_error[q] <= 1e-2
+            p01, p10 = cal.readout_error[q]
+            assert 0 <= p01 <= 0.3 and 0 <= p10 <= 0.35
+            assert cal.t2[q] <= 2 * cal.t1[q] + 1e-6
+        for err in cal.twoq_error.values():
+            assert 0 < err <= 0.15
+
+    @given(random_coupling(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_crosstalk_factors_bounded(self, coupling, seed):
+        model = generate_crosstalk_model(coupling, seed=seed)
+        for key, factor in model.factors.items():
+            assert factor >= 1.0
+            e1, e2 = sorted(key)
+            assert coupling.pair_distance(tuple(e1), tuple(e2)) == 1
+
+
+class TestPartitionProperties:
+    @given(random_coupling(min_qubits=6), st.integers(2, 4),
+           st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_candidates_connected_right_size_free(self, coupling, size,
+                                                  seed):
+        assume(size <= coupling.num_qubits)
+        cal = generate_calibration(coupling, seed=seed)
+        blocked = tuple(range(0, coupling.num_qubits, 3))
+        for cand in grow_partition_candidates(size, coupling, cal,
+                                              allocated=blocked):
+            assert len(cand.qubits) == size
+            assert coupling.is_connected_subset(cand.qubits)
+            assert not set(cand.qubits) & set(blocked)
+
+    @given(random_coupling(min_qubits=6), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_suspects_subset_of_internal_links(self, coupling, seed):
+        cal = generate_calibration(coupling, seed=seed)
+        candidates = grow_partition_candidates(3, coupling, cal)
+        assume(len(candidates) >= 2)
+        first = candidates[0].qubits
+        second = next(
+            (c.qubits for c in candidates[1:]
+             if not set(c.qubits) & set(first)), None)
+        assume(second is not None)
+        suspects = crosstalk_suspect_pairs(second, coupling, [first])
+        internal = set(coupling.subgraph_edges(second))
+        assert set(suspects) <= internal
+
+
+class TestQueueProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_makespan_is_total_work(self, durations):
+        report = simulate_fifo_queue([JobSpec(d) for d in durations])
+        assert report.makespan_ns == pytest.approx(sum(durations))
+
+    @given(st.integers(1, 30), st.integers(1, 30),
+           st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_speedup_bounded_by_batch_size(self, n, k, dur):
+        out = batched_speedup(n, k, dur)
+        assert 1.0 - 1e-9 <= out["runtime_reduction"] <= k + 1e-9
+
+    @given(st.integers(1, 30), st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_full_batching_speedup_is_program_count(self, n, dur):
+        out = batched_speedup(n, n, dur)
+        assert out["runtime_reduction"] == pytest.approx(n)

@@ -1,0 +1,96 @@
+"""Unit tests for the QAOA MaxCut module."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.vqe import (
+    expected_cut_value,
+    max_cut_value,
+    maxcut_cost,
+    qaoa_circuit,
+    run_qaoa_grid_ideal,
+    run_qaoa_grid_parallel,
+)
+
+
+@pytest.fixture(scope="module")
+def square():
+    return nx.cycle_graph(4)
+
+
+class TestCostFunctions:
+    def test_maxcut_cost_counts_crossing_edges(self, square):
+        assert maxcut_cost("0101", square) == 4.0
+        assert maxcut_cost("0000", square) == 0.0
+        assert maxcut_cost("0011", square) == 2.0
+
+    def test_weighted_edges(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2.5)
+        assert maxcut_cost("01", g) == 2.5
+
+    def test_expected_cut_is_convex_combination(self, square):
+        probs = {"0101": 0.5, "0000": 0.5}
+        assert expected_cut_value(probs, square) == pytest.approx(2.0)
+
+    def test_max_cut_bruteforce(self, square):
+        assert max_cut_value(square) == 4.0
+        assert max_cut_value(nx.complete_graph(3)) == 2.0
+
+
+class TestQaoaCircuit:
+    def test_structure(self, square):
+        qc = qaoa_circuit(square, [0.4], [0.7])
+        ops = qc.count_ops()
+        assert ops["h"] == 4
+        assert ops["rzz"] == 4
+        assert ops["rx"] == 4
+
+    def test_depth_p_layers(self, square):
+        qc = qaoa_circuit(square, [0.4, 0.2], [0.7, 0.1])
+        assert qc.count_ops()["rzz"] == 8
+
+    def test_mismatched_angles_rejected(self, square):
+        with pytest.raises(ValueError):
+            qaoa_circuit(square, [0.4], [0.7, 0.1])
+
+    def test_nonstandard_labels_rejected(self):
+        g = nx.Graph()
+        g.add_edge(2, 5)
+        with pytest.raises(ValueError):
+            qaoa_circuit(g, [0.1], [0.1])
+
+    def test_zero_angles_give_uniform_cut(self, square):
+        """gamma=beta=0 leaves the uniform superposition: expected cut =
+        half the total edge weight."""
+        from repro.sim import ideal_probabilities
+
+        qc = qaoa_circuit(square, [0.0], [0.0]).measure_all()
+        cut = expected_cut_value(ideal_probabilities(qc), square)
+        assert cut == pytest.approx(2.0)
+
+
+class TestGridDrivers:
+    def test_ideal_grid_beats_random_guessing(self, square):
+        result = run_qaoa_grid_ideal(square, resolution=4)
+        # Random assignment expects cut 2; QAOA p=1 should beat it.
+        assert result.best[2] > 2.3
+        assert result.approximation_ratio(square) > 0.55
+
+    def test_grid_shape(self, square):
+        result = run_qaoa_grid_ideal(square, resolution=3)
+        assert len(result.expected_cuts) == 9
+        assert len(result.gammas) == len(result.betas) == 9
+
+    def test_parallel_grid_on_device(self, manhattan, square):
+        result = run_qaoa_grid_parallel(square, manhattan, resolution=3,
+                                        shots=0, seed=2)
+        assert result.num_simultaneous == 9
+        # 9 programs x 4 qubits over 65.
+        assert result.throughput == pytest.approx(36 / 65)
+        ideal = run_qaoa_grid_ideal(square, resolution=3)
+        # Noise attenuates but should not destroy the signal.
+        assert result.best[2] > 0.75 * ideal.best[2]

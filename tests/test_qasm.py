@@ -1,0 +1,106 @@
+"""Unit tests for the OpenQASM 2.0 parser/writer."""
+
+import math
+
+import pytest
+
+from repro.circuits import QasmError, QuantumCircuit, parse_qasm, to_qasm
+
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+barrier q[0],q[1],q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+
+class TestParsing:
+    def test_basic_program(self):
+        qc = parse_qasm(SAMPLE)
+        assert qc.num_qubits == 3
+        assert qc.num_clbits == 3
+        ops = qc.count_ops()
+        assert ops["h"] == 1
+        assert ops["cx"] == 1
+        assert ops["measure"] == 2
+
+    def test_parameter_expression(self):
+        qc = parse_qasm(SAMPLE)
+        rz = next(i for i in qc if i.name == "rz")
+        assert rz.params[0] == pytest.approx(math.pi / 4)
+
+    def test_comments_stripped(self):
+        qc = parse_qasm("qreg q[1]; // a comment\n x q[0]; /* block */")
+        assert qc.count_ops() == {"x": 1}
+
+    def test_register_broadcast(self):
+        qc = parse_qasm("qreg q[3]; h q;")
+        assert qc.count_ops()["h"] == 3
+
+    def test_register_wide_measure(self):
+        qc = parse_qasm("qreg q[2]; creg c[2]; measure q -> c;")
+        assert qc.count_ops()["measure"] == 2
+
+    def test_multiple_registers_flattened(self):
+        qc = parse_qasm("qreg a[2]; qreg b[2]; cx a[1],b[0];")
+        inst = qc[0]
+        assert inst.qubits == (1, 2)
+
+    def test_cnot_alias(self):
+        qc = parse_qasm("qreg q[2]; cnot q[0],q[1];")
+        assert qc[0].name == "cx"
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; x r[0];")
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; x q[3];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; rz(__import__('os')) q[0];")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; rz(tau) q[0];")
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; qreg q[2];")
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_semantics(self):
+        import numpy as np
+
+        from repro.circuits import random_circuit
+        from repro.sim import circuit_unitary
+
+        qc = random_circuit(3, 5, seed=11)
+        back = parse_qasm(to_qasm(qc))
+        u1 = circuit_unitary(qc)
+        u2 = circuit_unitary(back)
+        assert np.allclose(u1, u2, atol=1e-9)
+
+    def test_round_trip_measures_and_barriers(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).barrier().cx(0, 1).measure(0, 0).measure(1, 1)
+        back = parse_qasm(to_qasm(qc))
+        assert back.count_ops() == qc.count_ops()
+        measures = [(i.qubits, i.clbits) for i in back
+                    if i.name == "measure"]
+        assert measures == [((0,), (0,)), ((1,), (1,))]
+
+    def test_writer_emits_header(self):
+        text = to_qasm(QuantumCircuit(1))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[1];" in text

@@ -1,0 +1,79 @@
+"""Unit tests for the FIFO queue / runtime-reduction model."""
+
+import pytest
+
+from repro.core import JobSpec, batched_speedup, simulate_fifo_queue
+
+
+class TestJobSpec:
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(1.0, arrival_ns=-1.0)
+
+
+class TestFifoQueue:
+    def test_single_job(self):
+        report = simulate_fifo_queue([JobSpec(100.0)])
+        assert report.makespan_ns == 100.0
+        assert report.waiting_ns == (0.0,)
+
+    def test_serial_accumulation(self):
+        report = simulate_fifo_queue([JobSpec(100.0) for _ in range(4)])
+        assert report.makespan_ns == 400.0
+        assert report.completion_ns == (100.0, 200.0, 300.0, 400.0)
+        assert report.waiting_ns == (0.0, 100.0, 200.0, 300.0)
+
+    def test_arrival_order_respected(self):
+        jobs = [JobSpec(50.0, arrival_ns=100.0), JobSpec(50.0)]
+        report = simulate_fifo_queue(jobs)
+        # The second-listed job arrived first and runs first.
+        assert report.completion_ns[1] == 50.0
+        assert report.completion_ns[0] == 150.0
+
+    def test_idle_gap_between_arrivals(self):
+        jobs = [JobSpec(10.0), JobSpec(10.0, arrival_ns=100.0)]
+        report = simulate_fifo_queue(jobs)
+        assert report.completion_ns == (10.0, 110.0)
+        assert report.waiting_ns[1] == 0.0
+
+    def test_mean_metrics(self):
+        report = simulate_fifo_queue([JobSpec(100.0), JobSpec(100.0)])
+        assert report.mean_turnaround_ns == 150.0
+        assert report.mean_waiting_ns == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fifo_queue([])
+
+
+class TestBatchedSpeedup:
+    def test_six_way_batching_is_six_times(self):
+        """The paper's claim: total runtime reduction up to six times."""
+        out = batched_speedup(6, 6, execution_ns=1e6)
+        assert out["runtime_reduction"] == pytest.approx(6.0)
+
+    def test_partial_batches(self):
+        out = batched_speedup(7, 3, execution_ns=100.0)
+        # ceil(7/3) = 3 batches.
+        assert out["batched_makespan_ns"] == pytest.approx(300.0)
+        assert out["runtime_reduction"] == pytest.approx(700.0 / 300.0)
+
+    def test_overhead_reduces_speedup(self):
+        free = batched_speedup(6, 6, 100.0, batch_overhead=0.0)
+        taxed = batched_speedup(6, 6, 100.0, batch_overhead=0.5)
+        assert taxed["runtime_reduction"] < free["runtime_reduction"]
+        assert taxed["runtime_reduction"] == pytest.approx(4.0)
+
+    def test_batch_size_one_is_serial(self):
+        out = batched_speedup(5, 1, 100.0)
+        assert out["runtime_reduction"] == pytest.approx(1.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            batched_speedup(0, 2, 100.0)
+        with pytest.raises(ValueError):
+            batched_speedup(2, 0, 100.0)

@@ -1,0 +1,67 @@
+"""Integration: QuMC consuming a *real* SRB characterization campaign.
+
+Closes the loop the paper describes: characterize the device with
+simulated SRB (expensive), hand the measured crosstalk map to QuMC, and
+check its decisions line up with both the oracle map and QuCP's sigma
+emulation.
+"""
+
+import pytest
+
+from repro.characterization import characterize_crosstalk, srb_experiments
+from repro.core import (
+    oracle_characterization,
+    qucp_allocate,
+    qumc_allocate,
+)
+from repro.hardware import linear_device
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def characterized_line():
+    """A small chain device plus its measured SRB crosstalk map."""
+    device = linear_device(9, seed=5, crosstalk_fraction=0.6)
+    charac = characterize_crosstalk(
+        device, seeds=2, shots=0, lengths=(1, 8, 20, 40))
+    return device, charac
+
+
+class TestSRBtoQuMC:
+    def test_measured_map_close_to_truth(self, characterized_line):
+        device, charac = characterized_line
+        measured = charac.ratio_map()
+        for exp in srb_experiments(device.coupling):
+            truth = device.crosstalk.factor(exp.link_a, exp.link_b)
+            got = measured[frozenset((exp.link_a, exp.link_b))]
+            assert got == pytest.approx(truth, rel=0.6, abs=0.6)
+
+    def test_qumc_accepts_characterization_object(self,
+                                                  characterized_line):
+        device, charac = characterized_line
+        circuits = [workload("fred").circuit() for _ in range(2)]
+        alloc = qumc_allocate(circuits, device, characterization=charac)
+        assert len(alloc.allocations) == 2
+        seen = set()
+        for part in alloc.partitions:
+            assert not seen & set(part)
+            seen.update(part)
+
+    def test_measured_qumc_close_to_oracle_qumc(self, characterized_line):
+        device, charac = characterized_line
+        circuits = [workload("fred").circuit() for _ in range(2)]
+        measured = qumc_allocate(circuits, device,
+                                 characterization=charac)
+        oracle = qumc_allocate(circuits, device,
+                               ratio_map=oracle_characterization(device))
+        assert set(map(tuple, measured.partitions)) == set(
+            map(tuple, oracle.partitions))
+
+    def test_qucp_sigma4_consistent_with_measured_qumc(
+            self, characterized_line):
+        device, charac = characterized_line
+        circuits = [workload("fred").circuit() for _ in range(2)]
+        qumc = qumc_allocate(circuits, device, characterization=charac)
+        qucp = qucp_allocate(circuits, device, sigma=4.0)
+        assert set(map(tuple, qucp.partitions)) == set(
+            map(tuple, qumc.partitions))

@@ -1,0 +1,68 @@
+"""Unit tests for readout confusion and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sim import apply_readout_confusion, counts_to_probs, sample_counts
+
+
+def _confusion(p01, p10):
+    return np.array([[1 - p01, p10], [p01, 1 - p10]])
+
+
+class TestConfusion:
+    def test_identity_confusion_is_noop(self):
+        probs = {"01": 0.25, "10": 0.75}
+        out = apply_readout_confusion(probs, [np.eye(2), np.eye(2)])
+        assert out == pytest.approx(probs)
+
+    def test_single_bit_flip_probability(self):
+        out = apply_readout_confusion({"0": 1.0}, [_confusion(0.2, 0.0)])
+        assert out == pytest.approx({"0": 0.8, "1": 0.2})
+
+    def test_asymmetric_confusion(self):
+        out = apply_readout_confusion({"1": 1.0}, [_confusion(0.0, 0.3)])
+        assert out == pytest.approx({"0": 0.3, "1": 0.7})
+
+    def test_independent_bits(self):
+        out = apply_readout_confusion(
+            {"00": 1.0}, [_confusion(0.1, 0.0), _confusion(0.2, 0.0)])
+        assert out["00"] == pytest.approx(0.9 * 0.8)
+        assert out["11"] == pytest.approx(0.1 * 0.2)
+
+    def test_probability_conserved(self):
+        probs = {"00": 0.3, "01": 0.2, "10": 0.1, "11": 0.4}
+        out = apply_readout_confusion(
+            probs, [_confusion(0.1, 0.2), _confusion(0.05, 0.07)])
+        assert sum(out.values()) == pytest.approx(1.0)
+
+    def test_wrong_matrix_count_rejected(self):
+        with pytest.raises(ValueError):
+            apply_readout_confusion({"00": 1.0}, [np.eye(2)])
+
+    def test_empty_distribution(self):
+        assert apply_readout_confusion({}, []) == {}
+
+
+class TestSampling:
+    def test_shots_conserved(self):
+        counts = sample_counts({"0": 0.5, "1": 0.5}, 1000, seed=0)
+        assert sum(counts.values()) == 1000
+
+    def test_zero_shots(self):
+        assert sample_counts({"0": 1.0}, 0) == {}
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            sample_counts({"0": 0.0}, 10)
+
+    def test_normalizes_unnormalized_input(self):
+        counts = sample_counts({"0": 2.0, "1": 2.0}, 100, seed=1)
+        assert sum(counts.values()) == 100
+
+    def test_counts_to_probs(self):
+        assert counts_to_probs({"0": 3, "1": 1}) == pytest.approx(
+            {"0": 0.75, "1": 0.25})
+
+    def test_counts_to_probs_empty(self):
+        assert counts_to_probs({}) == {}

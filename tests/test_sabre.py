@@ -1,0 +1,93 @@
+"""Unit tests for the SABRE lookahead router."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, qft_circuit, random_circuit
+from repro.sim import simulate_statevector
+from repro.transpiler import (
+    Layout,
+    decompose_to_basis,
+    sabre_route,
+    transpile,
+)
+
+
+def _marginals_match(circ_log, routed, n_phys):
+    sv_log = np.abs(simulate_statevector(
+        circ_log.without_measurements())) ** 2
+    sv_phys = np.abs(simulate_statevector(
+        routed.circuit.without_measurements())) ** 2
+    n_log = circ_log.num_qubits
+    fl = routed.final_layout
+    for idx in range(2 ** n_log):
+        bits = [(idx >> (n_log - 1 - q)) & 1 for q in range(n_log)]
+        pbits = [0] * n_phys
+        for q in range(n_log):
+            pbits[fl.physical(q)] = bits[q]
+        pidx = 0
+        for b in pbits:
+            pidx = (pidx << 1) | b
+        if abs(sv_log[idx] - sv_phys[pidx]) > 1e-8:
+            return False
+    return True
+
+
+class TestSabreRoute:
+    def test_adjacent_gates_no_swaps(self, line5):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        routed = sabre_route(decompose_to_basis(qc), line5.coupling,
+                             Layout.trivial(2), line5.calibration)
+        assert routed.num_swaps == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semantics_preserved(self, line5, seed):
+        qc = random_circuit(4, 7, seed=seed)
+        routed = sabre_route(decompose_to_basis(qc), line5.coupling,
+                             Layout.trivial(4), line5.calibration)
+        assert _marginals_match(qc, routed, 5)
+
+    def test_measures_remapped(self, line5):
+        qc = QuantumCircuit(2, 2)
+        qc.cx(0, 1).measure(0, 0).measure(1, 1)
+        layout = Layout({0: 3, 1: 4})
+        routed = sabre_route(qc, line5.coupling, layout,
+                             line5.calibration)
+        measures = [(i.qubits[0], i.clbits[0])
+                    for i in routed.circuit if i.name == "measure"]
+        assert measures == [(3, 0), (4, 1)]
+
+    def test_multiq_rejected(self, line5):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            sabre_route(qc, line5.coupling, Layout.trivial(3))
+
+    def test_output_respects_coupling(self, toronto):
+        qc = decompose_to_basis(qft_circuit(6))
+        layout = Layout.from_sequence((0, 1, 4, 7, 10, 12))
+        routed = sabre_route(qc, toronto.coupling, layout,
+                             toronto.calibration)
+        for inst in routed.circuit:
+            if len(inst.qubits) == 2:
+                assert toronto.coupling.is_edge(*inst.qubits)
+
+
+class TestSabreVsBasic:
+    def test_sabre_not_worse_on_congested_circuits(self, line5):
+        """On a line, lookahead routing should use no more SWAPs than
+        shortest-path walking for QFT-style all-to-all circuits."""
+        from repro.hardware import linear_device
+
+        dev = linear_device(6, seed=2)
+        basic = transpile(qft_circuit(6), dev.coupling, dev.calibration,
+                          router="basic")
+        sabre = transpile(qft_circuit(6), dev.coupling, dev.calibration,
+                          router="sabre")
+        assert sabre.num_swaps <= basic.num_swaps
+
+    def test_unknown_router_rejected(self, line5):
+        with pytest.raises(ValueError):
+            transpile(qft_circuit(3), line5.coupling, line5.calibration,
+                      router="teleport")

@@ -1,0 +1,157 @@
+"""Unit tests for the parallel-job executor (crosstalk + ALAP/ASAP)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.sim.executor import (
+    Program,
+    program_duration,
+    run_parallel,
+    run_single,
+    timed_intervals,
+)
+
+
+def _fidelity(result, good=("000", "111")):
+    return sum(result.probabilities.get(k, 0.0) for k in good)
+
+
+class TestProgram:
+    def test_partition_size_check(self):
+        with pytest.raises(ValueError):
+            Program(ghz_circuit(3), (0, 1))
+
+    def test_duplicate_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Program(ghz_circuit(2), (1, 1))
+
+    def test_physical_edge_normalized(self):
+        prog = Program(ghz_circuit(2), (5, 2))
+        assert prog.physical_edge(0, 1) == (2, 5)
+
+
+class TestTimedIntervals:
+    def test_asap_serial_chain(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        iv = timed_intervals(qc, {"x": 35.0}, mode="asap")
+        assert iv == [(0.0, 35.0), (35.0, 70.0)]
+
+    def test_parallel_gates_overlap(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(1)
+        iv = timed_intervals(qc, {"x": 35.0}, mode="asap")
+        assert iv[0] == iv[1] == (0.0, 35.0)
+
+    def test_alap_counts_from_end(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(0).x(1)
+        iv = timed_intervals(qc, {"x": 10.0}, mode="alap")
+        # The lone x on qubit 1 is scheduled against the end: (0, 10).
+        assert iv[2] == (0.0, 10.0)
+
+    def test_delay_uses_param_duration(self):
+        qc = QuantumCircuit(1)
+        qc.delay(0, 123.0)
+        iv = timed_intervals(qc, {}, mode="asap")
+        assert iv == [(0.0, 123.0)]
+
+    def test_program_duration(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        dur = program_duration(qc, {"h": 35.0, "cx": 300.0})
+        assert dur == pytest.approx(335.0)
+
+
+class TestRunParallel:
+    def test_overlapping_partitions_rejected(self, toronto):
+        qc = ghz_circuit(2).measure_all()
+        with pytest.raises(ValueError):
+            run_parallel(
+                [Program(qc, (0, 1)), Program(qc.copy(), (1, 2))],
+                toronto)
+
+    def test_gate_on_missing_link_rejected(self, toronto):
+        qc = ghz_circuit(2).measure_all()
+        # (0, 2) is not a Toronto link.
+        with pytest.raises(ValueError):
+            run_parallel([Program(qc, (0, 2))], toronto)
+
+    def test_ideal_mode_no_noise(self, toronto):
+        qc = ghz_circuit(3).measure_all()
+        res = run_parallel([Program(qc, (0, 1, 2))], toronto,
+                           noisy=False, shots=0)[0]
+        assert _fidelity(res) == pytest.approx(1.0)
+
+    def test_noisy_single_program(self, toronto):
+        qc = ghz_circuit(3).measure_all()
+        res = run_single(qc, (0, 1, 2), toronto, shots=0)
+        assert 0.5 < _fidelity(res) < 1.0
+
+    def test_crosstalk_degrades_neighbours(self, toronto):
+        """A strongly-interfering aggressor lowers the victim's fidelity."""
+        # Find a strong ground-truth pair on the device.
+        strong = None
+        for e1, e2 in toronto.coupling.all_one_hop_edge_pairs():
+            if toronto.crosstalk.factor(e1, e2) >= 2.5:
+                strong = (e1, e2)
+                break
+        assert strong is not None, "seeded device should have strong pairs"
+        (a1, a2), (b1, b2) = strong
+        deep = QuantumCircuit(2, 2)
+        deep.h(0)
+        for _ in range(6):
+            deep.cx(0, 1)
+        deep.measure(0, 0)
+        deep.measure(1, 1)
+        solo = run_single(deep, (a1, a2), toronto, shots=0)
+        together = run_parallel(
+            [Program(deep, (a1, a2)), Program(deep.copy(), (b1, b2))],
+            toronto, shots=0)[0]
+        good = ("00", "11")
+        assert _fidelity(together, good) < _fidelity(solo, good)
+
+    def test_distant_programs_unaffected(self, manhattan):
+        qc = ghz_circuit(2).measure_all()
+        solo = run_single(qc, (0, 1), manhattan, shots=0)
+        far = run_parallel(
+            [Program(qc, (0, 1)), Program(qc.copy(), (63, 64))],
+            manhattan, shots=0)[0]
+        assert _fidelity(far, ("00", "11")) == pytest.approx(
+            _fidelity(solo, ("00", "11")), abs=1e-9)
+
+    def test_alap_beats_asap_for_short_program(self, toronto):
+        deep = ghz_circuit(3)
+        for _ in range(10):
+            deep.cx(0, 1).cx(1, 2)
+        deep.measure_all()
+        short = ghz_circuit(3).measure_all()
+        progs = lambda: [Program(deep.copy(), (0, 1, 2)),
+                         Program(short.copy(), (3, 5, 8))]
+        alap = run_parallel(progs(), toronto, shots=0,
+                            scheduling="alap")[1]
+        asap = run_parallel(progs(), toronto, shots=0,
+                            scheduling="asap")[1]
+        assert _fidelity(alap) > _fidelity(asap)
+
+    def test_include_crosstalk_flag(self, toronto):
+        strong = None
+        for e1, e2 in toronto.coupling.all_one_hop_edge_pairs():
+            if toronto.crosstalk.factor(e1, e2) >= 2.5:
+                strong = (e1, e2)
+                break
+        (a1, a2), (b1, b2) = strong
+        deep = QuantumCircuit(2, 2)
+        deep.h(0)
+        for _ in range(6):
+            deep.cx(0, 1)
+        deep.measure(0, 0)
+        deep.measure(1, 1)
+        progs = lambda: [Program(deep.copy(), (a1, a2)),
+                         Program(deep.copy(), (b1, b2))]
+        with_ct = run_parallel(progs(), toronto, shots=0,
+                               include_crosstalk=True)[0]
+        without = run_parallel(progs(), toronto, shots=0,
+                               include_crosstalk=False)[0]
+        assert _fidelity(without, ("00", "11")) > _fidelity(
+            with_ct, ("00", "11"))

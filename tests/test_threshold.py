@@ -1,0 +1,65 @@
+"""Unit tests for the fidelity-threshold scheduler (Sec. IV-B)."""
+
+import pytest
+
+from repro.core import select_parallel_count
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return workload("4mod5-v1_22").circuit()
+
+
+class TestThresholdScheduler:
+    def test_zero_threshold_single_copy(self, circuit, manhattan):
+        decision = select_parallel_count(circuit, manhattan, threshold=0.0)
+        assert decision.num_parallel == 1
+        assert decision.throughput == pytest.approx(5 / 65)
+
+    def test_copies_monotone_in_threshold(self, circuit, manhattan):
+        counts = [
+            select_parallel_count(circuit, manhattan, threshold=t,
+                                  max_copies=6).num_parallel
+            for t in (0.0, 0.1, 0.3, 0.6, 1.0, 3.0)
+        ]
+        assert counts == sorted(counts)
+        assert counts[0] == 1
+
+    def test_large_threshold_hits_max_copies(self, circuit, manhattan):
+        decision = select_parallel_count(circuit, manhattan,
+                                         threshold=100.0, max_copies=6)
+        assert decision.num_parallel == 6
+        # Paper Fig. 4: six 5-qubit copies on Manhattan = 46.2%.
+        assert decision.throughput == pytest.approx(30 / 65)
+
+    def test_efs_series_non_decreasing(self, circuit, manhattan):
+        decision = select_parallel_count(circuit, manhattan,
+                                         threshold=100.0, max_copies=6)
+        efs = decision.efs_per_copy
+        assert all(efs[i] <= efs[i + 1] + 1e-12
+                   for i in range(len(efs) - 1))
+
+    def test_relative_degradation(self, circuit, manhattan):
+        decision = select_parallel_count(circuit, manhattan,
+                                         threshold=100.0, max_copies=4)
+        assert decision.relative_degradation(1) == pytest.approx(0.0)
+        assert decision.relative_degradation(
+            decision.num_parallel) >= 0.0
+
+    def test_negative_threshold_rejected(self, circuit, manhattan):
+        with pytest.raises(ValueError):
+            select_parallel_count(circuit, manhattan, threshold=-0.1)
+
+    def test_partitions_disjoint(self, circuit, manhattan):
+        decision = select_parallel_count(circuit, manhattan,
+                                         threshold=100.0, max_copies=6)
+        seen = set()
+        for part in decision.allocation.partitions:
+            assert not seen & set(part)
+            seen.update(part)
+
+    def test_capacity_limit_respected(self, circuit, line5):
+        decision = select_parallel_count(circuit, line5,
+                                         threshold=100.0, max_copies=6)
+        assert decision.num_parallel == 1  # only 5 qubits available

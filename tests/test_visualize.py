@@ -1,0 +1,43 @@
+"""Unit tests for the device ASCII renderer."""
+
+from repro.hardware import render_device, render_partitions
+
+
+class TestRenderDevice:
+    def test_header_contains_name(self, toronto):
+        text = render_device(toronto)
+        assert "ibm_toronto" in text
+        assert "27 qubits" in text
+
+    def test_all_qubits_present(self, toronto):
+        import re
+
+        text = render_device(toronto)
+        for q in range(27):
+            assert re.search(rf"(^|\s|\[)\s*{q}(\]|\s|$)", text), q
+
+    def test_highlight_brackets(self, toronto):
+        text = render_device(toronto, highlight=(0, 1))
+        assert "[ 0]A" in text
+        assert "[ 1]A" in text
+
+    def test_partition_letters(self, toronto):
+        text = render_partitions(toronto, [(0, 1), (23, 24)])
+        assert "[ 0]A" in text
+        assert "[23]B" in text
+
+    def test_legend_lists_partitions(self, toronto):
+        text = render_partitions(toronto, [(0, 1)])
+        assert "A=(0, 1)" in text
+
+    def test_melbourne_layout(self, melbourne):
+        text = render_device(melbourne)
+        lines = text.splitlines()
+        # Ladder: two qubit rows below the header.
+        qubit_rows = [ln for ln in lines if any(ch.isdigit()
+                                                for ch in ln)]
+        assert len(qubit_rows) >= 2
+
+    def test_generic_fallback_for_other_sizes(self, line5):
+        text = render_device(line5)
+        assert "linear5" in text

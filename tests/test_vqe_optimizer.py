@@ -1,0 +1,64 @@
+"""Unit tests for the VQE optimization drivers."""
+
+import numpy as np
+import pytest
+
+from repro.vqe import (
+    h2_hamiltonian,
+    minimize_energy_ideal,
+    minimize_energy_parallel,
+    vqe_energy_ideal,
+)
+
+
+class TestIdealMinimizer:
+    def test_reaches_tied_ansatz_optimum(self):
+        result = minimize_energy_ideal()
+        # Dense-scan reference for the tied ansatz.
+        thetas = np.linspace(-np.pi, np.pi, 2001)
+        reference = min(vqe_energy_ideal(t) for t in thetas)
+        assert result.energy <= reference + 1e-4
+
+    def test_close_to_exact_ground_energy(self):
+        result = minimize_energy_ideal()
+        exact = h2_hamiltonian().ground_energy()
+        assert abs(result.energy - exact) / abs(exact) < 0.02
+
+    def test_history_recorded(self):
+        result = minimize_energy_ideal()
+        assert len(result.history) > 10
+        energies = [e for _, e in result.history]
+        assert min(energies) == pytest.approx(result.energy, abs=1e-9)
+
+    def test_no_hardware_jobs(self):
+        result = minimize_energy_ideal()
+        assert result.num_jobs == 0
+        assert result.num_circuit_executions == 0
+
+
+class TestParallelMinimizer:
+    def test_converges_near_ideal(self, manhattan):
+        result = minimize_energy_parallel(
+            manhattan, rounds=3, points_per_round=8, shots=8192, seed=5)
+        ideal = minimize_energy_ideal()
+        assert abs(result.energy - ideal.energy) / abs(ideal.energy) < 0.12
+
+    def test_one_job_per_round(self, manhattan):
+        result = minimize_energy_parallel(
+            manhattan, rounds=2, points_per_round=4, shots=1024, seed=1)
+        assert result.num_jobs == 2
+        # 2 groups x 4 points per round x 2 rounds.
+        assert result.num_circuit_executions == 16
+
+    def test_refinement_improves_over_first_round(self, manhattan):
+        one = minimize_energy_parallel(
+            manhattan, rounds=1, points_per_round=6, shots=4096, seed=9)
+        three = minimize_energy_parallel(
+            manhattan, rounds=3, points_per_round=6, shots=4096, seed=9)
+        assert three.energy <= one.energy + 0.02
+
+    def test_invalid_arguments_rejected(self, manhattan):
+        with pytest.raises(ValueError):
+            minimize_energy_parallel(manhattan, rounds=0)
+        with pytest.raises(ValueError):
+            minimize_energy_parallel(manhattan, points_per_round=1)
