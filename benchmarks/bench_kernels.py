@@ -1,0 +1,94 @@
+"""Kernel smoke benchmark — tensor contraction vs dense embedding.
+
+Asserts the contraction backend beats the old full-space dense path by
+>= 5x on a noisy 8-qubit workload (the largest partition size the parallel
+executor sweeps), while producing the same distribution to 1e-10.  Runs in
+CI as a regression gate for the simulation hot path.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import print_table
+
+from repro.circuits import QuantumCircuit
+from repro.sim import NoiseModel, run_circuit
+
+#: Default 5x (the local acceptance target; measured headroom is ~26-30x).
+#: CI sets a conservative floor via the env var, since wall-clock ratios
+#: on shared runners carry scheduling noise.
+SPEEDUP_FLOOR = float(os.environ.get("KERNEL_SPEEDUP_FLOOR", "5.0"))
+
+
+def _workload_circuit(num_qubits: int, layers: int = 6) -> QuantumCircuit:
+    """A brickwork circuit: rotation layer + CX chain, all qubits measured."""
+    rng = np.random.default_rng(1234)
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            qc.ry(float(rng.uniform(0, 2 * np.pi)), q)
+        for a in range(layer % 2, num_qubits - 1, 2):
+            qc.cx(a, a + 1)
+    qc.measure_all()
+    return qc
+
+
+def _noise(num_qubits: int) -> NoiseModel:
+    return NoiseModel(
+        oneq_error={q: 1e-3 for q in range(num_qubits)},
+        twoq_error={(a, a + 1): 0.015 for a in range(num_qubits - 1)},
+        readout_error={q: (0.02, 0.02) for q in range(num_qubits)},
+        t1={q: 80_000.0 for q in range(num_qubits)},
+        t2={q: 70_000.0 for q in range(num_qubits)},
+    )
+
+
+def _best_time(fn, repeats: int) -> float:
+    fn()  # warm gate/channel caches so both backends are measured hot
+    return min(
+        (lambda t0: (fn(), time.perf_counter() - t0)[1])(time.perf_counter())
+        for _ in range(repeats)
+    )
+
+
+def test_contraction_beats_dense_8q():
+    """The acceptance gate: >= 5x on an 8-qubit noisy workload."""
+    qc = _workload_circuit(8)
+    nm = _noise(8)
+    tensor = run_circuit(qc, noise_model=nm)
+    dense = run_circuit(qc, noise_model=nm, backend="dense")
+    for key in set(tensor.probabilities) | set(dense.probabilities):
+        assert abs(tensor.probabilities.get(key, 0.0)
+                   - dense.probabilities.get(key, 0.0)) < 1e-10
+
+    t_tensor = _best_time(lambda: run_circuit(qc, noise_model=nm), 3)
+    t_dense = _best_time(
+        lambda: run_circuit(qc, noise_model=nm, backend="dense"), 3)
+    speedup = t_dense / t_tensor
+    print(f"\n8q noisy workload: dense {t_dense * 1e3:.1f} ms, "
+          f"tensor {t_tensor * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"contraction path only {speedup:.1f}x faster than dense "
+        f"(floor {SPEEDUP_FLOOR}x)")
+
+
+def test_scaling_table():
+    """Report the per-size speedup curve (informational; the 8q point is
+    covered by the acceptance gate above)."""
+    rows = []
+    for n in (4, 5, 6, 7):
+        qc = _workload_circuit(n)
+        nm = _noise(n)
+        t_tensor = _best_time(lambda: run_circuit(qc, noise_model=nm), 3)
+        t_dense = _best_time(
+            lambda: run_circuit(qc, noise_model=nm, backend="dense"), 3)
+        rows.append([n, f"{t_dense * 1e3:.2f}", f"{t_tensor * 1e3:.2f}",
+                     f"{t_dense / t_tensor:.1f}x"])
+    print_table("Kernel speedup (noisy brickwork, 6 layers)",
+                ["qubits", "dense ms", "tensor ms", "speedup"], rows)
+
+
+if __name__ == "__main__":
+    test_contraction_beats_dense_8q()
+    test_scaling_table()

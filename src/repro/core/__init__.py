@@ -8,7 +8,13 @@ from .cna import (
     cna_compile,
     cna_transpile_for_partition,
 )
-from .executor import ExecutionOutcome, execute_allocation
+from .executor import (
+    BatchJob,
+    ExecutionCache,
+    ExecutionOutcome,
+    execute_allocation,
+    run_batch,
+)
 from .metrics import (
     estimated_fidelity_score,
     hardware_throughput,
@@ -43,6 +49,8 @@ from .threshold import ThresholdDecision, select_parallel_count
 __all__ = [
     "DEFAULT_SIGMA",
     "AllocationResult",
+    "BatchJob",
+    "ExecutionCache",
     "ExecutionOutcome",
     "PartitionCandidate",
     "ProgramAllocation",
@@ -71,6 +79,7 @@ __all__ = [
     "qucloud_allocate",
     "qucp_allocate",
     "qumc_allocate",
+    "run_batch",
     "batched_speedup",
     "select_parallel_count",
     "simulate_fifo_queue",

@@ -3,23 +3,34 @@
 
 Ties together the allocator output, the per-partition transpiler, the
 crosstalk-aware simulator, and the PST/JSD metrics.
+
+Two entry points:
+
+- :func:`execute_allocation` runs one allocated job.
+- :func:`run_batch` runs a sweep of jobs through one shared
+  :class:`ExecutionCache`, so repeated programs (benchmark combos reuse
+  the same workloads over and over) pay for transpilation and the ideal
+  reference distribution once; per-job RNG streams are spawned
+  independently from the batch seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..sim.density_matrix import SimulationResult
-from ..sim.executor import Program, run_parallel
+from ..sim.executor import Program, run_parallel, spawn_seeds
+from ..sim.readout import SeedLike
 from ..sim.statevector import ideal_probabilities
 from ..transpiler.transpile import TranspileResult, transpile_for_partition
 from .metrics import jensen_shannon_divergence, pst
 from .qucp import AllocationResult, ProgramAllocation
 
-__all__ = ["ExecutionOutcome", "execute_allocation", "TranspilerFn"]
+__all__ = ["ExecutionOutcome", "execute_allocation", "TranspilerFn",
+           "BatchJob", "ExecutionCache", "run_batch"]
 
 #: Hook: (logical circuit, device, allocation) -> TranspileResult.
 TranspilerFn = Callable[[QuantumCircuit, Device, ProgramAllocation],
@@ -52,20 +63,143 @@ def _default_transpiler(circuit: QuantumCircuit, device: Device,
                                    optimization_level=3, schedule=True)
 
 
+def _circuit_key(circuit: QuantumCircuit) -> Optional[Tuple]:
+    """Structural fingerprint of a circuit, or None when unhashable.
+
+    Circuits are compared by value, not identity, so two benchmark combos
+    that instantiate the same workload twice share cache entries.
+    Unbound symbolic parameters may be unhashable; those circuits simply
+    bypass the cache.
+    """
+    key = (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        tuple((inst.name, inst.params, inst.qubits, inst.clbits)
+              for inst in circuit),
+    )
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class ExecutionCache:
+    """Cross-job memoization of transpilation and ideal distributions.
+
+    Keyed on circuit *structure* plus placement, so repeated programs in a
+    sweep amortize the expensive steps.  Hit/miss counters are exposed for
+    tests and benchmark reporting.  *max_entries* bounds each internal
+    table (oldest entry evicted first); the default ``None`` is unbounded,
+    which is fine for figure-sized sweeps but should be set for long-lived
+    service caches (entries pin their keyed devices and results alive).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        # Values keep strong references to the keyed device/transpiler so
+        # their id()s cannot be recycled onto different objects while an
+        # entry is alive.
+        self._transpile: Dict[Tuple, Tuple[Device, TranspilerFn,
+                                           TranspileResult]] = {}
+        self._ideal: Dict[Tuple, Dict[str, float]] = {}
+        self.max_entries = max_entries
+        self.transpile_hits = 0
+        self.transpile_misses = 0
+        self.ideal_hits = 0
+        self.ideal_misses = 0
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are kept)."""
+        self._transpile.clear()
+        self._ideal.clear()
+
+    def _store(self, table: Dict, key: Tuple, value) -> None:
+        if self.max_entries is not None:
+            if self.max_entries <= 0:
+                return  # max_entries=0 disables caching entirely
+            if len(table) >= self.max_entries:
+                table.pop(next(iter(table)))
+        table[key] = value
+
+    def transpile(self, circuit: QuantumCircuit, device: Device,
+                  allocation: ProgramAllocation,
+                  transpiler_fn: TranspilerFn) -> TranspileResult:
+        """Transpile through the cache (placement-sensitive key).
+
+        The key covers every input the hook can observe: circuit
+        structure, all :class:`ProgramAllocation` fields, the device, and
+        the transpiler function itself.
+        """
+        ckey = _circuit_key(circuit)
+        if ckey is None:
+            self.transpile_misses += 1
+            return transpiler_fn(circuit, device, allocation)
+        key = (ckey, allocation.index, allocation.partition,
+               allocation.efs, allocation.crosstalk_pairs,
+               id(device), id(transpiler_fn))
+        cached = self._transpile.get(key)
+        if cached is not None and cached[0] is device \
+                and cached[1] is transpiler_fn:
+            self.transpile_hits += 1
+            return self._fresh(cached[2])
+        self.transpile_misses += 1
+        result = transpiler_fn(circuit, device, allocation)
+        self._store(self._transpile, key, (device, transpiler_fn, result))
+        return self._fresh(result)
+
+    @staticmethod
+    def _fresh(result: TranspileResult) -> TranspileResult:
+        """Copy a cached result so outcomes never alias mutable state.
+
+        Instructions are immutable (a shallow circuit copy suffices) but
+        layouts are not (``Layout.swap_physical`` mutates in place);
+        without these copies a caller mutating one outcome's transpiled
+        circuit or layout would corrupt every sibling and future hit.
+        """
+        return replace(result,
+                       circuit=result.circuit.copy(),
+                       initial_layout=result.initial_layout.copy(),
+                       final_layout=result.final_layout.copy())
+
+    def ideal(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Ideal (noiseless) output distribution through the cache.
+
+        Returns a fresh dict each call — outcomes must not alias one
+        shared mutable distribution, or a caller mutating its copy would
+        corrupt the cache and every sibling outcome.
+        """
+        ckey = _circuit_key(circuit)
+        if ckey is None:
+            self.ideal_misses += 1
+            return ideal_probabilities(circuit)
+        cached = self._ideal.get(ckey)
+        if cached is not None:
+            self.ideal_hits += 1
+            return dict(cached)
+        self.ideal_misses += 1
+        result = ideal_probabilities(circuit)
+        self._store(self._ideal, ckey, result)
+        return dict(result)
+
+
 def execute_allocation(
     allocation_result: AllocationResult,
     shots: int = 8192,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     scheduling: str = "alap",
     transpiler_fn: Optional[TranspilerFn] = None,
     include_crosstalk: bool = True,
+    cache: Optional[ExecutionCache] = None,
 ) -> List[ExecutionOutcome]:
     """Run every allocated program simultaneously; outcomes in input order.
 
     Each logical circuit must contain measurements (the metrics compare
-    measured distributions).
+    measured distributions).  Pass a shared :class:`ExecutionCache` to
+    amortize transpilation and ideal-distribution work across calls (or
+    use :func:`run_batch`, which does so automatically).
     """
     transpiler_fn = transpiler_fn or _default_transpiler
+    cache = cache or ExecutionCache()
     device = allocation_result.device
     ordered = sorted(allocation_result.allocations, key=lambda a: a.index)
     transpiled: List[TranspileResult] = []
@@ -75,7 +209,7 @@ def execute_allocation(
             raise ValueError(
                 f"program {alloc.index} has no measurements; metrics need "
                 "measured outputs")
-        tr = transpiler_fn(alloc.circuit, device, alloc)
+        tr = cache.transpile(alloc.circuit, device, alloc, transpiler_fn)
         transpiled.append(tr)
         programs.append(Program(tr.circuit, alloc.partition))
     results = run_parallel(programs, device, shots=shots, seed=seed,
@@ -83,6 +217,58 @@ def execute_allocation(
                            include_crosstalk=include_crosstalk)
     outcomes: List[ExecutionOutcome] = []
     for alloc, tr, res in zip(ordered, transpiled, results):
-        ideal = ideal_probabilities(alloc.circuit)
+        ideal = cache.ideal(alloc.circuit)
         outcomes.append(ExecutionOutcome(alloc, tr, res, ideal))
+    return outcomes
+
+
+@dataclass
+class BatchJob:
+    """One parallel job inside a batched sweep.
+
+    ``seed=None`` means "derive from the batch seed" (each job gets an
+    independent child stream); set an explicit seed to pin a job.
+    """
+
+    allocation: AllocationResult
+    shots: int = 8192
+    seed: SeedLike = None
+    scheduling: str = "alap"
+    include_crosstalk: bool = True
+    transpiler_fn: Optional[TranspilerFn] = None
+
+
+def run_batch(
+    jobs: Sequence[Union[BatchJob, AllocationResult]],
+    seed: SeedLike = None,
+    cache: Optional[ExecutionCache] = None,
+) -> List[List[ExecutionOutcome]]:
+    """Execute a sweep of parallel jobs with shared caching.
+
+    *jobs* may mix :class:`BatchJob` entries and bare
+    :class:`AllocationResult` objects (run with :class:`BatchJob`
+    defaults).  All jobs share one :class:`ExecutionCache` — repeated
+    circuits are transpiled once and their ideal distributions computed
+    once — and jobs without an explicit seed get independent child RNG
+    streams spawned from *seed*.  Returns one outcome list per job, in
+    input order.
+    """
+    normalized: List[BatchJob] = [
+        job if isinstance(job, BatchJob) else BatchJob(job) for job in jobs
+    ]
+    cache = cache or ExecutionCache()
+    batch_seeds = spawn_seeds(seed, len(normalized))
+    outcomes: List[List[ExecutionOutcome]] = []
+    for job, child in zip(normalized, batch_seeds):
+        job_seed = job.seed if job.seed is not None else child
+        outcomes.append(
+            execute_allocation(
+                job.allocation,
+                shots=job.shots,
+                seed=job_seed,
+                scheduling=job.scheduling,
+                transpiler_fn=job.transpiler_fn,
+                include_crosstalk=job.include_crosstalk,
+                cache=cache,
+            ))
     return outcomes

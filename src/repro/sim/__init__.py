@@ -1,5 +1,19 @@
 """Simulators: ideal statevector, circuit unitaries, and noisy
-density-matrix evolution with calibration-driven Kraus channels."""
+density-matrix evolution with calibration-driven Kraus channels.
+
+Performance note
+----------------
+Both simulators run on the **local tensor-contraction backend** in
+:mod:`repro.sim.kernels`: the state is a ``(2,)*n`` tensor (density matrix
+``(2,)*2n``) and each k-qubit unitary or Kraus operator is contracted
+against its target axes only.  Per-operator cost is ``O(2^n * 4^k)`` for
+states and ``O(4^n * 4^k)`` for density matrices — versus ``O(4^n)`` /
+``O(8^n)`` for the old full-space embedding + dense matmul — roughly an
+order of magnitude on the 6-8 qubit partitions the parallel executor
+sweeps (see ``benchmarks/bench_kernels.py``).  The dense path survives as
+``simulate_density_matrix(..., backend="dense")`` purely for verification;
+``tests/test_kernels_equivalence.py`` pins both backends to each other at
+1e-10 over randomized circuits."""
 
 from .channels import (
     KrausChannel,
@@ -30,6 +44,13 @@ from .density_matrix import (
     run_circuit,
     simulate_density_matrix,
 )
+from .kernels import (
+    apply_kraus,
+    apply_to_statevector,
+    apply_unitary,
+    initial_density_tensor,
+    initial_state_tensor,
+)
 from .noise_model import NoiseModel
 from .readout import apply_readout_confusion, counts_to_probs, sample_counts
 from .statevector import ideal_counts, ideal_probabilities, simulate_statevector
@@ -41,7 +62,10 @@ __all__ = [
     "EstimationResult",
     "SimulationResult",
     "amplitude_damping_channel",
+    "apply_kraus",
     "apply_readout_confusion",
+    "apply_to_statevector",
+    "apply_unitary",
     "basis_index",
     "bit_flip_channel",
     "bitstring_of",
@@ -57,6 +81,8 @@ __all__ = [
     "ideal_probabilities",
     "hellinger_fidelity",
     "identity_channel",
+    "initial_density_tensor",
+    "initial_state_tensor",
     "pauli_channel",
     "phase_damping_channel",
     "phase_flip_channel",

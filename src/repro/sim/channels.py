@@ -74,12 +74,40 @@ class KrausChannel:
         )
         return KrausChannel(ops)
 
+    def superop(self) -> np.ndarray:
+        """The channel folded into a local superoperator tensor (cached).
+
+        See :func:`repro.sim.kernels.superop_tensor`; channel instances
+        are themselves cached by the constructors, so a run's repeated
+        error rates fold exactly once.
+        """
+        cached = self._embed_cache.get("superop")
+        if cached is None:
+            from .kernels import superop_tensor
+
+            cached = superop_tensor(self.operators)
+            self._embed_cache["superop"] = cached
+        return cached
+
+    def apply_local(self, rho: np.ndarray, qubits: Tuple[int, ...],
+                    num_qubits: int) -> np.ndarray:
+        """Apply the channel on local axes of a ``(2,)*2n`` density tensor.
+
+        This is the hot path of the noisy simulator: the folded
+        superoperator is contracted against the target axes only (see
+        :mod:`repro.sim.kernels`), never embedded into the full space.
+        """
+        from .kernels import apply_superop
+
+        return apply_superop(rho, self.superop(), qubits, num_qubits)
+
     def embedded(self, qubits: Tuple[int, ...],
                  num_qubits: int) -> Tuple[np.ndarray, ...]:
         """Kraus operators embedded into the full *num_qubits* space.
 
-        Cached per (qubits, num_qubits) — the hot path of the noisy
-        simulator.
+        Cached per (qubits, num_qubits).  Off the simulation hot path —
+        only the dense reference backend and full-matrix consumers use
+        these embeddings.
         """
         from .unitary import embed_gate
 
@@ -198,12 +226,23 @@ def thermal_relaxation_channel(t1: float, t2: float,
     """Combined T1/T2 relaxation over *duration* (same units as t1/t2).
 
     Requires ``t2 <= 2 t1``.  Implemented as amplitude damping followed by
-    the extra pure dephasing needed to hit the target T2.
+    the extra pure dephasing needed to hit the target T2.  Instances are
+    cached (the simulator requests the same qubit coherence times and
+    delay durations for every run of a sweep), so validation and the
+    superoperator fold happen once per distinct parameter triple.  The
+    key uses the exact float values — the function is unit-agnostic, so
+    no rounding is safe across magnitudes.
     """
     if t2 > 2 * t1 + 1e-12:
         raise ValueError("t2 must be <= 2*t1")
     if duration < 0:
         raise ValueError("duration must be non-negative")
+    return _thermal_relaxation_cached(float(t1), float(t2), float(duration))
+
+
+@lru_cache(maxsize=4096)
+def _thermal_relaxation_cached(t1: float, t2: float,
+                               duration: float) -> KrausChannel:
     gamma = 1.0 - math.exp(-duration / t1) if t1 > 0 else 1.0
     # Total dephasing factor exp(-t/T2) = sqrt(1-gamma) * sqrt(1-lam)
     # where sqrt(1-gamma) is the coherence decay from amplitude damping.

@@ -5,6 +5,17 @@ the noise channel the :class:`~repro.sim.noise_model.NoiseModel` assigns to
 it.  Suitable for the partition sizes that occur in parallel circuit
 execution (<= ~8 qubits); the executor never simulates a whole 65-qubit
 chip at once.
+
+Two backends share one evolution loop:
+
+- ``backend="tensor"`` (default) keeps rho as a ``(2,)*2n`` tensor and
+  applies every k-qubit unitary and Kraus operator through the local
+  contraction kernels in :mod:`repro.sim.kernels` — O(2^n * 4^k) per
+  operator, never materializing a full-space embedding.
+- ``backend="dense"`` is the original full-space reference: each operator
+  is embedded into a 2^n x 2^n matrix and applied by dense matmuls
+  (O(4^n) per operator).  Kept for verification; the randomized
+  equivalence suite checks the two agree to 1e-10.
 """
 
 from __future__ import annotations
@@ -18,17 +29,35 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
 from .channels import KrausChannel
+from .kernels import (
+    RESET_KRAUS,
+    apply_kraus,
+    apply_unitary,
+    density_tensor_to_matrix,
+    initial_density_tensor,
+)
 from .noise_model import NoiseModel
-from .readout import apply_readout_confusion, sample_counts
+from .readout import SeedLike, apply_readout_confusion, sample_counts
 from .unitary import embed_gate
 
 __all__ = ["SimulationResult", "simulate_density_matrix", "run_circuit"]
 
 
 @lru_cache(maxsize=4096)
+def _local_unitary(name: str, params: Tuple[float, ...],
+                   num_gate_qubits: int) -> np.ndarray:
+    """Cache of *local* k-qubit gate matrices keyed by gate identity.
+
+    Shared process-wide, so repeated programs in a batched sweep reuse the
+    same matrices.
+    """
+    return Gate(name, num_gate_qubits, params).matrix()
+
+
+@lru_cache(maxsize=4096)
 def _embedded_unitary(name: str, params: Tuple[float, ...],
                       qubits: Tuple[int, ...], num_qubits: int) -> np.ndarray:
-    """Cache of full-space gate unitaries keyed by gate identity."""
+    """Cache of full-space gate unitaries (dense reference backend only)."""
     g = Gate(name, len(qubits), params)
     return embed_gate(g.matrix(), qubits, num_qubits)
 
@@ -37,87 +66,166 @@ def _embedded_unitary(name: str, params: Tuple[float, ...],
 class SimulationResult:
     """Output of a noisy simulation run.
 
-    ``probabilities`` maps classical-bit strings (clbit 0 leftmost) to
-    probabilities *after readout error*; ``counts`` are sampled from it.
+    ``probabilities`` maps classical-bit strings to probabilities *after
+    readout error*; ``counts`` are sampled from it.  String position *i*
+    holds the clbit ``measured_clbits[i]`` (the measured clbits in sorted
+    order — the lowest measured clbit is leftmost).
     """
 
     probabilities: Dict[str, float]
     counts: Dict[str, int] = field(default_factory=dict)
     shots: int = 0
     density_matrix: Optional[np.ndarray] = None
+    measured_clbits: Tuple[int, ...] = ()
+
+    def _positions(self, clbits: Sequence[int]) -> Sequence[int]:
+        """Map clbit numbers to their key-string positions."""
+        if not self.measured_clbits:
+            # Legacy results (no clbit record): positions == clbit numbers.
+            return list(clbits)
+        index = {c: i for i, c in enumerate(self.measured_clbits)}
+        try:
+            return [index[c] for c in clbits]
+        except KeyError as exc:
+            raise ValueError(
+                f"clbit {exc.args[0]} was not measured "
+                f"(measured clbits: {self.measured_clbits})") from None
 
     def expectation_z(self, clbits: Sequence[int]) -> float:
-        """<Z...Z> over the given clbits, from the probabilities."""
+        """<Z...Z> over the given clbits, from the probabilities.
+
+        Clbit numbers are mapped to key positions via ``measured_clbits``;
+        non-contiguous measured clbits (e.g. ``{0, 2}``) are handled
+        correctly.
+        """
+        positions = self._positions(clbits)
         total = 0.0
         for key, p in self.probabilities.items():
-            parity = sum(int(key[c]) for c in clbits) % 2
+            parity = sum(int(key[i]) for i in positions) % 2
             total += p * (1.0 if parity == 0 else -1.0)
         return total
 
 
-def _apply_channel(rho: np.ndarray, channel: KrausChannel,
-                   qubits: Sequence[int], num_qubits: int) -> np.ndarray:
-    out = np.zeros_like(rho)
-    for full in channel.embedded(tuple(qubits), num_qubits):
-        out += full @ rho @ full.conj().T
-    return out
+class _TensorOps:
+    """Contraction-kernel backend: rho is a ``(2,)*2n`` tensor."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.n = num_qubits
+
+    def initial(self) -> np.ndarray:
+        return initial_density_tensor(self.n)
+
+    def unitary(self, rho: np.ndarray, name: str, params: Tuple[float, ...],
+                qubits: Tuple[int, ...]) -> np.ndarray:
+        mat = _local_unitary(name, params, len(qubits))
+        return apply_unitary(rho, mat, qubits, self.n)
+
+    def channel(self, rho: np.ndarray, channel: KrausChannel,
+                qubits: Tuple[int, ...]) -> np.ndarray:
+        return channel.apply_local(rho, qubits, self.n)
+
+    def reset(self, rho: np.ndarray, qubit: int) -> np.ndarray:
+        return apply_kraus(rho, RESET_KRAUS, (qubit,), self.n)
+
+    def finalize(self, rho: np.ndarray) -> np.ndarray:
+        return density_tensor_to_matrix(rho, self.n)
 
 
-def _apply_reset(rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
-    zero = np.array([[1, 0], [0, 0]], dtype=complex)
-    lower = np.array([[0, 1], [0, 0]], dtype=complex)
-    k0 = embed_gate(zero, [qubit], num_qubits)
-    k1 = embed_gate(lower, [qubit], num_qubits)
-    return k0 @ rho @ k0.conj().T + k1 @ rho @ k1.conj().T
+class _DenseOps:
+    """Full-space reference backend: rho is a ``2^n x 2^n`` matrix."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.n = num_qubits
+
+    def initial(self) -> np.ndarray:
+        dim = 2 ** self.n
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        return rho
+
+    def unitary(self, rho: np.ndarray, name: str, params: Tuple[float, ...],
+                qubits: Tuple[int, ...]) -> np.ndarray:
+        full = _embedded_unitary(name, params, qubits, self.n)
+        return full @ rho @ full.conj().T
+
+    def channel(self, rho: np.ndarray, channel: KrausChannel,
+                qubits: Tuple[int, ...]) -> np.ndarray:
+        out = np.zeros_like(rho)
+        for full in channel.embedded(tuple(qubits), self.n):
+            out += full @ rho @ full.conj().T
+        return out
+
+    def reset(self, rho: np.ndarray, qubit: int) -> np.ndarray:
+        out = np.zeros_like(rho)
+        for op in RESET_KRAUS:
+            full = embed_gate(op, [qubit], self.n)
+            out += full @ rho @ full.conj().T
+        return out
+
+    def finalize(self, rho: np.ndarray) -> np.ndarray:
+        return rho
+
+
+def _backend_ops(backend: str, num_qubits: int):
+    if backend == "tensor":
+        return _TensorOps(num_qubits)
+    if backend == "dense":
+        return _DenseOps(num_qubits)
+    raise ValueError(f"unknown simulation backend {backend!r}")
 
 
 def simulate_density_matrix(
     circuit: QuantumCircuit,
     noise_model: Optional[NoiseModel] = None,
     error_scales: Optional[Dict[int, float]] = None,
+    backend: str = "tensor",
 ) -> np.ndarray:
     """Return the pre-measurement density matrix of *circuit*.
 
     *error_scales* maps instruction indices to multiplicative error-rate
     boosts (the crosstalk hook); unlisted instructions use scale 1.
+    *backend* selects the contraction kernels (``"tensor"``, default) or
+    the dense full-space reference (``"dense"``).
     """
-    n = circuit.num_qubits
-    dim = 2 ** n
-    rho = np.zeros((dim, dim), dtype=complex)
-    rho[0, 0] = 1.0
+    ops = _backend_ops(backend, circuit.num_qubits)
+    rho = ops.initial()
     error_scales = error_scales or {}
     for idx, inst in enumerate(circuit):
         if inst.name in ("measure", "barrier"):
             continue
         if inst.name == "reset":
-            rho = _apply_reset(rho, inst.qubits[0], n)
+            rho = ops.reset(rho, inst.qubits[0])
             continue
         if inst.name != "delay":
-            unitary = _embedded_unitary(inst.name, inst.params,
-                                        inst.qubits, n)
-            rho = unitary @ rho @ unitary.conj().T
+            rho = ops.unitary(rho, inst.name, inst.params, inst.qubits)
         elif noise_model is not None:
             # Idling under a residual detuning accumulates a coherent Z
             # rotation — the error dynamical decoupling echoes away.
             delta = noise_model.detuning_of(inst.qubits[0])
             if delta != 0.0:
                 angle = delta * float(inst.params[0])
-                unitary = _embedded_unitary("rz", (angle,), inst.qubits, n)
-                rho = unitary @ rho @ unitary.conj().T
+                rho = ops.unitary(rho, "rz", (angle,), inst.qubits)
         if noise_model is not None:
             channel = noise_model.channel_for(
                 inst, error_scale=error_scales.get(idx, 1.0))
             if channel is not None:
-                rho = _apply_channel(rho, channel, inst.qubits, n)
-    return rho
+                # The channel may act on fewer qubits than the gate (3q+
+                # gates get an approximate 2q channel on the first pair).
+                rho = ops.channel(rho, channel,
+                                  inst.qubits[:channel.num_qubits])
+    return ops.finalize(rho)
 
 
 def _measured_probabilities(
     circuit: QuantumCircuit,
     rho: np.ndarray,
     noise_model: Optional[NoiseModel],
-) -> Dict[str, float]:
-    """Project the density matrix onto the measured clbits."""
+) -> Tuple[Dict[str, float], Tuple[int, ...]]:
+    """Project the density matrix onto the measured clbits.
+
+    Returns ``(probabilities, measured_clbits)`` where the key-string
+    position *i* corresponds to ``measured_clbits[i]``.
+    """
     n = circuit.num_qubits
     diag = np.real(np.diag(rho)).clip(min=0.0)
     diag = diag / diag.sum() if diag.sum() > 0 else diag
@@ -127,7 +235,7 @@ def _measured_probabilities(
     ]
     if not measure_map:
         measure_map = [(q, q) for q in range(n)]
-    clbits = sorted({c for _, c in measure_map})
+    clbits = tuple(sorted({c for _, c in measure_map}))
     qubit_for_clbit = {c: q for q, c in measure_map}
     measured_qubits = [qubit_for_clbit[c] for c in clbits]
 
@@ -143,20 +251,27 @@ def _measured_probabilities(
         confusions = [noise_model.confusion_matrix(q)
                       for q in measured_qubits]
         probs = apply_readout_confusion(probs, confusions)
-    return probs
+    return probs, clbits
 
 
 def run_circuit(
     circuit: QuantumCircuit,
     noise_model: Optional[NoiseModel] = None,
     shots: int = 0,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     error_scales: Optional[Dict[int, float]] = None,
     keep_density_matrix: bool = False,
+    backend: str = "tensor",
 ) -> SimulationResult:
-    """Simulate *circuit* end-to-end: evolution, readout error, sampling."""
-    rho = simulate_density_matrix(circuit, noise_model, error_scales)
-    probs = _measured_probabilities(circuit, rho, noise_model)
+    """Simulate *circuit* end-to-end: evolution, readout error, sampling.
+
+    *seed* may be an int or a :class:`numpy.random.SeedSequence` (the
+    batched executor spawns independent child sequences per program).
+    """
+    rho = simulate_density_matrix(circuit, noise_model, error_scales,
+                                  backend=backend)
+    probs, measured_clbits = _measured_probabilities(circuit, rho,
+                                                     noise_model)
     counts: Dict[str, int] = {}
     if shots > 0:
         counts = sample_counts(probs, shots, seed=seed)
@@ -165,4 +280,5 @@ def run_circuit(
         counts=counts,
         shots=shots,
         density_matrix=rho if keep_density_matrix else None,
+        measured_clbits=measured_clbits,
     )

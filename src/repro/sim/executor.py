@@ -22,12 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.dag import instruction_levels
 from ..hardware.devices import Device
 from .density_matrix import SimulationResult, run_circuit
+from .readout import SeedLike
 
-__all__ = ["Program", "run_parallel", "run_single", "program_duration"]
+__all__ = ["Program", "run_parallel", "run_single", "program_duration",
+           "spawn_seeds"]
 
 
 @dataclass(frozen=True)
@@ -57,16 +60,16 @@ class Program:
 
 def program_duration(circuit: QuantumCircuit,
                      gate_duration: Dict[str, float]) -> float:
-    """Wall-clock duration estimate: sum over layers of the slowest gate."""
-    from ..circuits.dag import asap_layers
+    """Wall-clock makespan of *circuit* under ASAP scheduling.
 
-    total = 0.0
-    for layer in asap_layers(circuit):
-        total += max(
-            (gate_duration.get(inst.name, 35.0) for inst in layer),
-            default=0.0,
-        )
-    return total
+    Computed from the same per-instruction timing as
+    :func:`timed_intervals`, so ``delay`` instructions are priced at their
+    actual ``params[0]`` duration (not the 35 ns fallback) and barriers
+    take no time — ALAP/ASAP duration estimates agree with the schedule
+    the crosstalk-overlap computation uses.
+    """
+    intervals = timed_intervals(circuit, gate_duration, mode="asap")
+    return max((end for _, end in intervals), default=0.0)
 
 
 def timed_intervals(
@@ -178,11 +181,37 @@ def _with_trailing_idle(circuit: QuantumCircuit, idle_ns: float
     return out
 
 
+def spawn_seeds(seed: SeedLike,
+                count: int) -> List[Optional[np.random.SeedSequence]]:
+    """Derive *count* independent RNG streams from one base seed.
+
+    Accepts an int or an existing :class:`numpy.random.SeedSequence` and
+    spawns statistically-independent children, one per program — shot
+    sampling of co-scheduled programs must not share a stream, or their
+    multinomial draws correlate.  ``None`` stays ``None`` (fresh OS
+    entropy per program).
+
+    A caller-supplied SeedSequence is never mutated (``spawn`` advances
+    its child counter): children are derived from a private namespace
+    under it, so the same object yields the same streams on every call
+    and stays usable for the caller's own spawning.
+    """
+    if seed is None:
+        return [None] * count
+    if isinstance(seed, np.random.SeedSequence):
+        base = np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=tuple(seed.spawn_key) + (0x9E3779B9,))
+    else:
+        base = np.random.SeedSequence(seed)
+    return list(base.spawn(count))
+
+
 def run_parallel(
     programs: Sequence[Program],
     device: Device,
     shots: int = 4096,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     scheduling: str = "alap",
     include_crosstalk: bool = True,
     noisy: bool = True,
@@ -190,7 +219,11 @@ def run_parallel(
     """Execute *programs* simultaneously on *device* and return results.
 
     Partitions must be pairwise disjoint.  With ``noisy=False`` this is an
-    ideal run (useful for reference distributions).
+    ideal run (useful for reference distributions).  The joint crosstalk
+    schedule is computed once for the whole job; *seed* (int or
+    :class:`numpy.random.SeedSequence`) is spawned into independent
+    per-program child streams so co-scheduled programs sample
+    independently.
     """
     seen: set = set()
     for prog in programs:
@@ -227,15 +260,15 @@ def run_parallel(
 
     full_noise = device.noise_model() if noisy else None
 
+    seeds = spawn_seeds(seed, len(effective))
     results: List[SimulationResult] = []
     for k, prog in enumerate(effective):
         noise = None
         if noisy:
             noise = full_noise.restricted(prog.partition)
-        run_seed = None if seed is None else seed + 7919 * k
         results.append(
             run_circuit(prog.circuit, noise_model=noise, shots=shots,
-                        seed=run_seed, error_scales=scales[k]))
+                        seed=seeds[k], error_scales=scales[k]))
     return results
 
 
@@ -244,7 +277,7 @@ def run_single(
     partition: Tuple[int, ...],
     device: Device,
     shots: int = 4096,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     noisy: bool = True,
 ) -> SimulationResult:
     """Execute one program alone on its partition (no crosstalk)."""

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["apply_readout_confusion", "sample_counts", "counts_to_probs"]
+__all__ = ["apply_readout_confusion", "sample_counts", "counts_to_probs",
+           "SeedLike"]
+
+#: Anything accepted as an RNG seed: an int, a spawned
+#: :class:`numpy.random.SeedSequence` child stream, or None (OS entropy).
+SeedLike = Optional[Union[int, np.random.SeedSequence]]
 
 
 def apply_readout_confusion(
@@ -41,7 +46,7 @@ def apply_readout_confusion(
 
 
 def sample_counts(probs: Dict[str, float], shots: int,
-                  seed: Optional[int] = None) -> Dict[str, int]:
+                  seed: SeedLike = None) -> Dict[str, int]:
     """Multinomial-sample *shots* outcomes from a distribution."""
     if shots <= 0:
         return {}

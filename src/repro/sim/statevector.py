@@ -1,9 +1,10 @@
 """Ideal statevector simulation.
 
-Applies gates in-place on a tensor-reshaped state for O(2^n) per gate.
-Measurement instructions are ignored here (the statevector before
-measurement is returned); use :mod:`repro.sim.readout` or the executor for
-shot sampling.
+Applies gates on a tensor-reshaped state through the local contraction
+kernels in :mod:`repro.sim.kernels` — O(2^n * 4^k) per k-qubit gate, no
+full-space embeddings.  Measurement instructions are ignored here (the
+statevector before measurement is returned); use :mod:`repro.sim.readout`
+or the executor for shot sampling.
 """
 
 from __future__ import annotations
@@ -13,21 +14,10 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from .kernels import apply_to_statevector, initial_state_tensor
 from .unitary import bitstring_of
 
 __all__ = ["simulate_statevector", "ideal_probabilities", "ideal_counts"]
-
-
-def _apply_gate(state: np.ndarray, matrix: np.ndarray,
-                qubits: tuple, num_qubits: int) -> np.ndarray:
-    """Apply a k-qubit gate to a (2,)*n tensor state."""
-    k = len(qubits)
-    gmat = matrix.reshape((2,) * (2 * k))
-    # Contract gate column axes with the state's target axes.
-    state = np.tensordot(gmat, state, axes=(list(range(k, 2 * k)),
-                                            list(qubits)))
-    # tensordot puts the gate's row axes first; move them back.
-    return np.moveaxis(state, list(range(k)), list(qubits))
 
 
 def simulate_statevector(circuit: QuantumCircuit,
@@ -40,8 +30,7 @@ def simulate_statevector(circuit: QuantumCircuit,
     """
     n = circuit.num_qubits
     if initial_state is None:
-        state = np.zeros((2,) * n, dtype=complex)
-        state[(0,) * n] = 1.0
+        state = initial_state_tensor(n)
     else:
         if initial_state.size != 2 ** n:
             raise ValueError("initial state size mismatch")
@@ -51,7 +40,8 @@ def simulate_statevector(circuit: QuantumCircuit,
             continue
         if inst.name == "reset":
             raise ValueError("reset requires the density-matrix simulator")
-        state = _apply_gate(state, inst.gate.matrix(), inst.qubits, n)
+        state = apply_to_statevector(state, inst.gate.matrix(),
+                                     inst.qubits, n)
     return state.reshape(2 ** n)
 
 

@@ -7,6 +7,11 @@ Conventions (used consistently across the whole package):
   ``(b >> (n - 1 - q)) & 1``.
 - a gate's matrix is expressed in the big-endian order of its *instruction
   qubit list* (so ``cx`` with qubits ``(c, t)`` has control = first factor).
+
+:func:`embed_gate` builds the dense full-space operator.  It is **not** on
+the simulation hot path anymore — the simulators contract gates locally via
+:mod:`repro.sim.kernels` — and survives as the reference construction for
+verification and for code that genuinely needs the full matrix.
 """
 
 from __future__ import annotations
@@ -66,16 +71,22 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     """Compose a circuit's gates into a single unitary matrix.
 
     Measurements and resets are rejected; barriers and delays are skipped.
+    Each gate is contracted locally against the row axes of the running
+    unitary (every column is a statevector), so no full-space embedding is
+    built — O(8^n) per gate becomes O(4^n * 4^k).
     """
-    dim = 2 ** circuit.num_qubits
-    unitary = np.eye(dim, dtype=complex)
+    from .kernels import apply_to_statevector
+
+    n = circuit.num_qubits
+    dim = 2 ** n
+    # (2,)*n ket axes + one flat column axis; column j is U |j>.
+    unitary = np.eye(dim, dtype=complex).reshape((2,) * n + (dim,))
     for inst in circuit:
         if inst.name in ("barrier", "delay"):
             continue
         if inst.gate.is_directive:
             raise ValueError(
                 f"cannot take the unitary of a circuit with {inst.name!r}")
-        gmat = embed_gate(inst.gate.matrix(), inst.qubits,
-                          circuit.num_qubits)
-        unitary = gmat @ unitary
-    return unitary
+        unitary = apply_to_statevector(unitary, inst.gate.matrix(),
+                                       inst.qubits, n)
+    return unitary.reshape(dim, dim)

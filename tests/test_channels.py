@@ -151,6 +151,13 @@ class TestDamping:
         with pytest.raises(ValueError):
             thermal_relaxation_channel(10.0, 25.0, 1.0)
 
+    def test_t2_exactly_twice_t1_accepted(self):
+        """Regression: cache-key rounding must not push a valid
+        t2 == 2*t1 (the NoiseModel delay clamp) past the tolerance."""
+        for t1 in (10.0000000004, 81_234.5678912345, 1.0 / 3.0):
+            ch = thermal_relaxation_channel(t1, 2 * t1, 100.0)
+            assert ch.num_qubits == 1
+
     def test_identity_channel(self):
         ch = identity_channel(2)
         rho = np.eye(4, dtype=complex) / 4

@@ -118,3 +118,24 @@ class TestSampling:
         assert res.expectation_z([0]) == pytest.approx(-1.0)
         assert res.expectation_z([1]) == pytest.approx(1.0)
         assert res.expectation_z([0, 1]) == pytest.approx(-1.0)
+
+    def test_expectation_z_non_contiguous_clbits(self):
+        """Regression: clbits {0, 2} measured — key position 1 is clbit 2.
+
+        The old implementation indexed the key string by raw clbit number
+        and either raised IndexError or read the wrong bit.
+        """
+        qc = QuantumCircuit(3, 3)
+        qc.x(2).measure(0, 0).measure(2, 2)
+        res = run_circuit(qc, shots=0)
+        assert res.measured_clbits == (0, 2)
+        assert res.expectation_z([0]) == pytest.approx(1.0)
+        assert res.expectation_z([2]) == pytest.approx(-1.0)
+        assert res.expectation_z([0, 2]) == pytest.approx(-1.0)
+
+    def test_expectation_z_unmeasured_clbit_rejected(self):
+        qc = QuantumCircuit(3, 3)
+        qc.measure(0, 0).measure(2, 2)
+        res = run_circuit(qc, shots=0)
+        with pytest.raises(ValueError):
+            res.expectation_z([1])

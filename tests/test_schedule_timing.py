@@ -67,6 +67,32 @@ class TestTimedIntervals:
         qc.x(1)
         assert program_duration(qc, DUR) == pytest.approx(120.0)
 
+    def test_program_duration_prices_delay_by_param(self):
+        """Regression: delays were billed at the 35 ns fallback instead of
+        their actual duration, so ALAP/ASAP estimates disagreed with the
+        timed_intervals schedule used for crosstalk overlap."""
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.delay(0, 500.0)
+        qc.x(0)
+        assert program_duration(qc, DUR) == pytest.approx(520.0)
+
+    def test_program_duration_agrees_with_timed_intervals(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.delay(0, 321.0)
+        qc.barrier()
+        qc.x(1)
+        # Hand-computed: cx 0-100, delay 100-421, barrier free, x 421-431.
+        assert program_duration(qc, DUR) == pytest.approx(431.0)
+        makespan = max(e for _, e in timed_intervals(qc, DUR, mode="asap"))
+        assert makespan == pytest.approx(431.0)
+
+    def test_program_duration_barrier_free(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).barrier().x(0)
+        assert program_duration(qc, DUR) == pytest.approx(20.0)
+
     def test_barrier_takes_no_time(self):
         qc = QuantumCircuit(2)
         qc.x(0).barrier().x(0)

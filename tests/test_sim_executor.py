@@ -8,6 +8,7 @@ from repro.sim.executor import (
     program_duration,
     run_parallel,
     run_single,
+    spawn_seeds,
     timed_intervals,
 )
 
@@ -133,6 +134,48 @@ class TestRunParallel:
         asap = run_parallel(progs(), toronto, shots=0,
                             scheduling="asap")[1]
         assert _fidelity(alap) > _fidelity(asap)
+
+    def test_programs_sample_independently(self, manhattan):
+        """Regression: one base seed must not correlate the multinomial
+        draws of co-scheduled programs — each gets a spawned child
+        stream."""
+        qc = QuantumCircuit(2, 2)
+        qc.ry(0.7, 0).ry(1.9, 1).cx(0, 1)
+        qc.measure(0, 0).measure(1, 1)
+        res = run_parallel(
+            [Program(qc, (0, 1)), Program(qc.copy(), (63, 64))],
+            manhattan, shots=2000, seed=11, noisy=False)
+        assert sum(res[0].counts.values()) == 2000
+        assert res[0].counts != res[1].counts
+
+    def test_seeded_parallel_run_reproducible(self, manhattan):
+        qc = QuantumCircuit(2, 2)
+        qc.ry(0.7, 0).ry(1.9, 1).cx(0, 1)
+        qc.measure(0, 0).measure(1, 1)
+        progs = lambda: [Program(qc.copy(), (0, 1)),
+                         Program(qc.copy(), (63, 64))]
+        a = run_parallel(progs(), manhattan, shots=500, seed=3, noisy=False)
+        b = run_parallel(progs(), manhattan, shots=500, seed=3, noisy=False)
+        assert [r.counts for r in a] == [r.counts for r in b]
+
+    def test_spawn_seeds(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+        children = spawn_seeds(42, 3)
+        assert len(children) == 3
+        states = {tuple(c.generate_state(4)) for c in children}
+        assert len(states) == 3  # pairwise-distinct streams
+
+    def test_spawn_seeds_does_not_mutate_caller_sequence(self):
+        import numpy as np
+
+        ss = np.random.SeedSequence(3)
+        a = [tuple(c.generate_state(4)) for c in spawn_seeds(ss, 2)]
+        b = [tuple(c.generate_state(4)) for c in spawn_seeds(ss, 2)]
+        assert a == b  # same object -> same streams on every call
+        assert ss.n_children_spawned == 0
+        # ...and the caller's own spawns don't collide with ours.
+        own = {tuple(c.generate_state(4)) for c in ss.spawn(2)}
+        assert own.isdisjoint(a)
 
     def test_include_crosstalk_flag(self, toronto):
         strong = None
