@@ -1,0 +1,145 @@
+"""Service-level benchmark: serial vs multi-programmed cloud service.
+
+Drives the discrete-event :class:`~repro.core.CloudScheduler` with
+synthetic Poisson traffic over the Table II suite and quantifies what the
+paper's end-state promises — "improve the hardware throughput and reduce
+the overall runtime" — at the *service* level: mean turnaround across
+allocators, fleet sizes, placement policies, and arrival rates.
+
+The acceptance gate (also run in CI via ``--smoke``): a multi-programmed
+device fleet must beat serial single-device service by >= 2x on mean
+turnaround for a Poisson arrival workload.
+
+Run:  PYTHONPATH=../src python bench_scheduler.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Sequence
+
+from conftest import print_table
+
+from repro.core import CloudScheduler, ScheduleOutcome, SubmittedProgram
+from repro.hardware import Device, DeviceFleet, ibm_melbourne, ibm_toronto
+from repro.workloads import synthesize_traffic
+
+#: CI override knob (mirrors bench_kernels.py's KERNEL_SPEEDUP_FLOOR).
+TURNAROUND_FLOOR = float(os.environ.get("SCHEDULER_SPEEDUP_FLOOR", "2.0"))
+
+
+def fleet_devices(size: int) -> List[Device]:
+    """A heterogeneous fleet: Toronto twins with distinct calibrations
+    plus a Melbourne — all seeded, so runs are reproducible."""
+    pool = [ibm_toronto(), ibm_toronto(seed=28), ibm_melbourne(),
+            ibm_toronto(seed=29), ibm_melbourne(seed=17)]
+    return pool[:size]
+
+
+def run_service(
+    submissions: Sequence[SubmittedProgram],
+    devices: Sequence[Device],
+    allocator: str,
+    threshold: float,
+    policy: str = "least_loaded",
+    window_ns: float = 0.0,
+    max_batch_size: int | None = None,
+) -> ScheduleOutcome:
+    scheduler = CloudScheduler(
+        DeviceFleet(devices, policy=policy),
+        allocator=allocator,
+        fidelity_threshold=threshold,
+        batch_window_ns=window_ns,
+        max_batch_size=max_batch_size,
+    )
+    return scheduler.schedule(submissions)
+
+
+def fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:.2f}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI configuration (fewer programs, "
+                             "one allocator) with the >=2x gate")
+    parser.add_argument("--programs", type=int, default=None,
+                        help="number of submissions (default 24; 12 "
+                             "with --smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--threshold", type=float, default=1.0,
+                        help="fidelity threshold of the multi-programmed "
+                             "services")
+    args = parser.parse_args(argv)
+
+    num_programs = args.programs or (12 if args.smoke else 24)
+    allocators = ["qucp"] if args.smoke else [
+        "qucp", "qumc", "qucloud", "multiqc"]
+    rates_ns = [2e5] if args.smoke else [1e5, 2e5, 1e6]
+    fleet_sizes = [1, 3] if args.smoke else [1, 2, 3]
+
+    best_overall = 0.0
+    for rate in rates_ns:
+        subs = synthesize_traffic(
+            num_programs, pattern="poisson", mean_interarrival_ns=rate,
+            mix="heavy_tail", seed=args.seed)
+        # True serial baseline: one program per hardware job.
+        serial = run_service(subs, fleet_devices(1), "qucp", 0.0,
+                             max_batch_size=1)
+        rows: List[List[object]] = [[
+            "serial", 1, "-", 0.0, serial.num_jobs,
+            fmt_ms(serial.makespan_ns), fmt_ms(serial.mean_turnaround_ns),
+            "1.00x",
+        ]]
+        best: Dict[str, float] = {}
+        for allocator in allocators:
+            for size in fleet_sizes:
+                for policy in (["least_loaded"] if size == 1 or args.smoke
+                               else ["round_robin", "least_loaded",
+                                     "best_fidelity"]):
+                    out = run_service(subs, fleet_devices(size), allocator,
+                                      args.threshold, policy=policy)
+                    speedup = (serial.mean_turnaround_ns
+                               / out.mean_turnaround_ns)
+                    rows.append([
+                        allocator, size,
+                        policy if size > 1 else "-",
+                        args.threshold, out.num_jobs,
+                        fmt_ms(out.makespan_ns),
+                        fmt_ms(out.mean_turnaround_ns),
+                        f"{speedup:.2f}x",
+                    ])
+                    if size > 1:
+                        key = f"{allocator}/fleet{size}"
+                        best[key] = max(best.get(key, 0.0), speedup)
+        print_table(
+            f"Poisson traffic, {num_programs} programs, "
+            f"mean interarrival {rate / 1e6:g} ms",
+            ["allocator", "fleet", "policy", "threshold", "jobs",
+             "makespan(ms)", "turnaround(ms)", "vs serial"],
+            rows)
+        top = max(best.values())
+        best_overall = max(best_overall, top)
+        print(f"best multi-programmed fleet speedup at this rate: "
+              f"{top:.2f}x")
+
+    # The gate holds at the loaded operating point: near-idle rates are
+    # reported for the shape (speedup -> 1x as the queue empties) but a
+    # saturated Poisson stream must show >= TURNAROUND_FLOOR.
+    print(f"\nbest multi-programmed fleet speedup: {best_overall:.2f}x "
+          f"(floor {TURNAROUND_FLOOR:g}x)")
+    if best_overall < TURNAROUND_FLOOR:
+        print("FAIL: multi-programmed fleet service did not reach the "
+              f"{TURNAROUND_FLOOR:g}x mean-turnaround floor",
+              file=sys.stderr)
+        return 1
+    print("\nOK: multi-programmed fleet service beats serial "
+          f"single-device service by >= {TURNAROUND_FLOOR:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,28 +1,40 @@
-"""Throughput vs fidelity: the paper's Sec. IV-B experiment.
+"""Throughput vs fidelity: the paper's Sec. IV-B experiment, on the
+allocator-registry + event-driven service API.
 
-Sweeps the fidelity threshold on IBM Q 65 Manhattan, letting QuCP decide
-how many copies of a benchmark run simultaneously, then measures the
-average PST at each operating point.  Reproduces the shape of Fig. 4:
-throughput climbs from 7.7% to 46.2% while fidelity degrades, with a
-cliff once partitions get crowded.
+Part 1 sweeps the fidelity threshold on IBM Q 65 Manhattan, letting the
+registry-served QuCP strategy decide how many copies of a benchmark run
+simultaneously, then measures the average PST at each operating point —
+the shape of Fig. 4: throughput climbs from 7.7% to 46.2% while fidelity
+degrades, with a cliff once partitions get crowded.
+
+Part 2 runs the same knob at the *service* level: a Poisson stream of
+submissions through the discrete-event ``CloudScheduler``, showing how
+the threshold trades mean turnaround against jobs dispatched.
 
 Run:  python examples/throughput_tradeoff.py
 """
 
 import numpy as np
 
-from repro.core import execute_allocation, select_parallel_count
+from repro.core import (
+    CloudScheduler,
+    execute_allocation,
+    get_allocator,
+    select_parallel_count,
+)
 from repro.hardware import ibm_manhattan
-from repro.workloads import workload
+from repro.workloads import synthesize_traffic, workload
 
 
 def main() -> None:
     device = ibm_manhattan()
     bench = workload("alu-v0_27")
     circuit = bench.circuit()
+    allocator = get_allocator("qucp")  # the registry-served strategy
     print(f"benchmark: {bench.name} ({bench.num_qubits} qubits, "
           f"{bench.num_cx} CX)")
-    print(f"device: {device.name} ({device.num_qubits} qubits)\n")
+    print(f"device: {device.name} ({device.num_qubits} qubits)")
+    print(f"allocator: {allocator.method_label()}\n")
 
     print(f"{'threshold':>9} | {'copies':>6} | {'throughput':>10} | "
           f"{'avg PST':>8}")
@@ -30,7 +42,8 @@ def main() -> None:
     for threshold in (0.0, 0.1, 0.2, 0.4, 0.7, 1.0, 2.0):
         decision = select_parallel_count(circuit, device,
                                          threshold=threshold,
-                                         max_copies=6)
+                                         max_copies=6,
+                                         allocator=allocator)
         outcomes = execute_allocation(decision.allocation, shots=4096,
                                       seed=13)
         avg_pst = float(np.mean([o.pst() for o in outcomes]))
@@ -38,7 +51,33 @@ def main() -> None:
               f"{decision.throughput:>9.1%} | {avg_pst:>8.3f}")
 
     print("\nRead: higher thresholds admit more simultaneous copies "
-          "(more throughput, shorter queue) at the cost of fidelity.")
+          "(more throughput, shorter queue) at the cost of fidelity.\n")
+
+    # -- the same knob as a cloud service ------------------------------
+    subs = synthesize_traffic(12, pattern="poisson",
+                              mean_interarrival_ns=2e5,
+                              mix="heavy_tail", seed=7)
+    print(f"service view: {len(subs)} Poisson submissions on "
+          f"{device.name}")
+    print(f"{'service':>14} | {'jobs':>4} | {'makespan(ms)':>12} | "
+          f"{'turnaround(ms)':>14}")
+    print("-" * 55)
+    serial = CloudScheduler(device, allocator=allocator,
+                            fidelity_threshold=0.0,
+                            max_batch_size=1).schedule(subs)
+    print(f"{'serial':>14} | {serial.num_jobs:>4} | "
+          f"{serial.makespan_ns / 1e6:>12.2f} | "
+          f"{serial.mean_turnaround_ns / 1e6:>14.2f}")
+    for threshold in (0.0, 0.3, 1.0):
+        out = CloudScheduler(device, allocator=allocator,
+                             fidelity_threshold=threshold).schedule(subs)
+        print(f"{f'th={threshold:g}':>14} | {out.num_jobs:>4} | "
+              f"{out.makespan_ns / 1e6:>12.2f} | "
+              f"{out.mean_turnaround_ns / 1e6:>14.2f}")
+
+    print("\nRead: the batching service amortizes per-job overhead; "
+          "max_batch_size=1 is strict serial FIFO service, and higher "
+          "thresholds pack more programs per job.")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,30 @@
 """The paper's contribution: QuCP crosstalk-aware parallel workload
-execution, its baselines (QuMC, CNA, MultiQC, QuCloud), the fidelity
-metrics, and the threshold scheduler."""
+execution, its baselines (QuMC, CNA, MultiQC, QuCloud) behind one
+allocator registry, the fidelity metrics, the threshold scheduler, and
+the event-driven cloud service layer."""
 
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    Placement,
+    PlacementContext,
+    ProgramAllocation,
+    allocation_engine,
+    available_allocators,
+    circuit_structure_key,
+    get_allocator,
+    register_allocator,
+    resolve_allocator,
+)
 from .cna import (
+    CnaAllocator,
     CnaCompilation,
     cna_allocate,
     cna_compile,
     cna_transpile_for_partition,
 )
+from .events import Event, EventKind, EventQueue
 from .executor import (
     BatchJob,
     ExecutionCache,
@@ -23,44 +40,63 @@ from .metrics import (
     normalize_distribution,
     pst,
 )
-from .multiqc import multiqc_allocate
+from .multiqc import MultiqcAllocator, multiqc_allocate
 from .partition import (
     PartitionCandidate,
     crosstalk_suspect_pairs,
     grow_partition_candidates,
 )
-from .qucloud import fidelity_degree, qucloud_allocate
-from .qucp import (
-    DEFAULT_SIGMA,
-    AllocationResult,
-    ProgramAllocation,
-    qucp_allocate,
-)
-from .qumc import oracle_characterization, qumc_allocate
+from .qucloud import QucloudAllocator, fidelity_degree, qucloud_allocate
+from .qucp import DEFAULT_SIGMA, QucpAllocator, qucp_allocate
+from .qumc import QumcAllocator, oracle_characterization, qumc_allocate
 from .queueing import (
     JobSpec,
     QueueReport,
     batched_speedup,
     simulate_fifo_queue,
 )
-from .scheduler import OnlineScheduler, ScheduleOutcome, SubmittedProgram
+from .scheduler import (
+    CloudScheduler,
+    DispatchedBatch,
+    OnlineScheduler,
+    ScheduleOutcome,
+    SubmittedProgram,
+)
 from .threshold import ThresholdDecision, select_parallel_count
 
 __all__ = [
     "DEFAULT_SIGMA",
+    "AllocationEngine",
     "AllocationResult",
+    "Allocator",
     "BatchJob",
+    "CloudScheduler",
+    "CnaAllocator",
+    "CnaCompilation",
+    "DispatchedBatch",
+    "Event",
+    "EventKind",
+    "EventQueue",
     "ExecutionCache",
     "ExecutionOutcome",
-    "PartitionCandidate",
-    "ProgramAllocation",
     "JobSpec",
+    "MultiqcAllocator",
     "OnlineScheduler",
+    "PartitionCandidate",
+    "Placement",
+    "PlacementContext",
+    "ProgramAllocation",
+    "QucloudAllocator",
+    "QucpAllocator",
     "QueueReport",
+    "QumcAllocator",
     "ScheduleOutcome",
     "SubmittedProgram",
     "ThresholdDecision",
-    "CnaCompilation",
+    "allocation_engine",
+    "available_allocators",
+    "batched_speedup",
+    "circuit_structure_key",
     "cna_allocate",
     "cna_compile",
     "cna_transpile_for_partition",
@@ -68,6 +104,7 @@ __all__ = [
     "estimated_fidelity_score",
     "execute_allocation",
     "fidelity_degree",
+    "get_allocator",
     "grow_partition_candidates",
     "hardware_throughput",
     "jensen_shannon_divergence",
@@ -79,8 +116,9 @@ __all__ = [
     "qucloud_allocate",
     "qucp_allocate",
     "qumc_allocate",
+    "register_allocator",
+    "resolve_allocator",
     "run_batch",
-    "batched_speedup",
     "select_parallel_count",
     "simulate_fifo_queue",
 ]

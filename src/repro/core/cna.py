@@ -29,10 +29,18 @@ from ..transpiler.optimize import optimize_circuit
 from ..transpiler.routing import route_circuit
 from ..transpiler.schedule import schedule_alap
 from ..transpiler.transpile import TranspileResult
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    PlacementContext,
+    ProgramAllocation,
+    register_allocator,
+)
 from .metrics import estimated_fidelity_score
-from .qucp import AllocationResult, ProgramAllocation
+from .partition import PartitionCandidate
 
-__all__ = ["CnaCompilation", "cna_compile", "cna_allocate",
+__all__ = ["CnaCompilation", "CnaAllocator", "cna_compile", "cna_allocate",
            "cna_transpile_for_partition"]
 
 
@@ -172,6 +180,41 @@ def cna_compile(
     return compilation
 
 
+@register_allocator
+class CnaAllocator(Allocator):
+    """CNA as a registry strategy.
+
+    CNA does not score partition candidates — it compiles each program
+    onto the whole free chip and lets the routed footprint *become* the
+    partition — so it overrides :meth:`allocate` wholesale and cannot
+    place programs incrementally for the batching scheduler.
+    """
+
+    name = "cna"
+    supports_incremental = False
+
+    def __init__(self, inflation: float = 4.0,
+                 optimization_level: int = 3,
+                 schedule: bool = True) -> None:
+        self.inflation = inflation
+        self.optimization_level = optimization_level
+        self.schedule = schedule
+
+    def score(self, engine: AllocationEngine, ctx: PlacementContext,
+              candidate: PartitionCandidate, suspects: Tuple[Edge, ...],
+              n2q: int, n1q: int) -> float:
+        raise NotImplementedError(
+            "CNA has no candidate-scoring step; use allocate()")
+
+    def allocate(self, circuits: Sequence[QuantumCircuit],
+                 device: Device) -> AllocationResult:
+        return cna_compile(
+            circuits, device, inflation=self.inflation,
+            optimization_level=self.optimization_level,
+            schedule=self.schedule,
+        ).allocation
+
+
 def cna_allocate(
     circuits: Sequence[QuantumCircuit],
     device: Device,
@@ -179,7 +222,7 @@ def cna_allocate(
     """CNA allocation record only (see :func:`cna_compile` for the full
     compile; executing this allocation with the default transpiler uses
     CNA's footprints but QuCP's per-partition mapping)."""
-    return cna_compile(circuits, device).allocation
+    return CnaAllocator().allocate(circuits, device)
 
 
 def cna_transpile_for_partition(

@@ -5,20 +5,28 @@ blend of connectivity and gate/readout quality — and grows partitions
 around the best-ranked qubits.  Crosstalk is not modelled during
 partitioning (QuCloud's inter-program SWAP sharing, which the paper notes
 can *introduce* crosstalk, is out of scope for the fidelity comparison).
+
+Registered as ``"qucloud"``.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..hardware.topology import Edge
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    PlacementContext,
+    register_allocator,
+)
 from .metrics import estimated_fidelity_score
 from .partition import PartitionCandidate
-from .qucp import AllocationResult, ScoreFn, allocate_greedy
 
-__all__ = ["qucloud_allocate", "fidelity_degree"]
+__all__ = ["QucloudAllocator", "qucloud_allocate", "fidelity_degree"]
 
 
 def fidelity_degree(device: Device, qubit: int) -> float:
@@ -32,25 +40,50 @@ def fidelity_degree(device: Device, qubit: int) -> float:
     return link_fid * readout_fid
 
 
+@register_allocator
+class QucloudAllocator(Allocator):
+    """EFS scoring minus a normalized fidelity-degree bonus."""
+
+    name = "qucloud"
+
+    def cache_token(self) -> str:
+        # Parameter-free scoring: all instances share the cache.
+        return "qucloud"
+
+    @staticmethod
+    def _degree_scale(engine: AllocationEngine) -> float:
+        """Best fidelity degree on the chip; 1.0 when every qubit's
+        degree is 0 (fully disconnected device) so the bonus — then
+        identically zero — never divides by zero.  Memoized in the
+        engine's per-device scratch space."""
+        scale = engine.scratch.get("qucloud_degree_scale")
+        if scale is None:
+            device = engine.device
+            scale = max(
+                fidelity_degree(device, q)
+                for q in range(device.num_qubits))
+            if scale <= 0.0:
+                scale = 1.0
+            engine.scratch["qucloud_degree_scale"] = scale
+        return scale
+
+    def score(self, engine: AllocationEngine, ctx: PlacementContext,
+              candidate: PartitionCandidate, suspects: Tuple[Edge, ...],
+              n2q: int, n1q: int) -> float:
+        device = engine.device
+        efs = estimated_fidelity_score(
+            candidate.qubits, device.coupling, device.calibration,
+            n2q, n1q)
+        degree_bonus = sum(
+            fidelity_degree(device, q) for q in candidate.qubits
+        ) / (self._degree_scale(engine) * len(candidate.qubits))
+        # Higher fidelity degree lowers the score (better candidate).
+        return efs - 0.01 * degree_bonus
+
+
 def qucloud_allocate(
     circuits: Sequence[QuantumCircuit],
     device: Device,
 ) -> AllocationResult:
     """Allocate partitions with the QuCloud (CDAP-style) policy."""
-    degree_sum_scale = max(
-        fidelity_degree(device, q) for q in range(device.num_qubits))
-
-    def factory(allocated: List[Tuple[int, ...]]) -> ScoreFn:
-        def score(cand: PartitionCandidate, suspects: Tuple[Edge, ...],
-                  n2q: int, n1q: int) -> float:
-            efs = estimated_fidelity_score(
-                cand.qubits, device.coupling, device.calibration,
-                n2q, n1q)
-            degree_bonus = sum(
-                fidelity_degree(device, q) for q in cand.qubits
-            ) / (degree_sum_scale * len(cand.qubits))
-            # Higher fidelity degree lowers the score (better candidate).
-            return efs - 0.01 * degree_bonus
-        return score
-
-    return allocate_greedy(circuits, device, factory, method="qucloud")
+    return QucloudAllocator().allocate(circuits, device)

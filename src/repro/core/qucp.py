@@ -7,123 +7,59 @@ error of links that sit one hop from already-allocated programs' links by
 the **crosstalk parameter sigma** — thereby *emulating* crosstalk impact
 without ever running SRB.  The paper tunes sigma and finds that
 ``sigma >= 4`` makes QuCP's partitions match SRB-driven QuMC's.
+
+The scoring policy lives in :class:`QucpAllocator`, registered as
+``"qucp"`` in the allocator registry; :func:`qucp_allocate` is the
+stable functional entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Hashable, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..hardware.topology import Edge
-from .metrics import estimated_fidelity_score, hardware_throughput
-from .partition import (
-    PartitionCandidate,
-    crosstalk_suspect_pairs,
-    grow_partition_candidates,
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    PlacementContext,
+    ProgramAllocation,
+    register_allocator,
 )
+from .metrics import estimated_fidelity_score
+from .partition import PartitionCandidate
 
-__all__ = ["ProgramAllocation", "AllocationResult", "qucp_allocate",
-           "DEFAULT_SIGMA"]
+__all__ = ["ProgramAllocation", "AllocationResult", "QucpAllocator",
+           "qucp_allocate", "DEFAULT_SIGMA"]
 
 #: The paper's tuned crosstalk parameter (Sec. IV-A).
 DEFAULT_SIGMA = 4.0
 
 
-@dataclass(frozen=True)
-class ProgramAllocation:
-    """One program's placement."""
+@register_allocator
+class QucpAllocator(Allocator):
+    """EFS scoring with suspect links inflated by a constant sigma."""
 
-    index: int
-    circuit: QuantumCircuit
-    partition: Tuple[int, ...]
-    efs: float
-    crosstalk_pairs: Tuple[Edge, ...] = ()
+    name = "qucp"
 
+    def __init__(self, sigma: float = DEFAULT_SIGMA) -> None:
+        self.sigma = sigma
 
-@dataclass
-class AllocationResult:
-    """Output of a parallel-workload allocation."""
+    def method_label(self) -> str:
+        return f"qucp(sigma={self.sigma:g})"
 
-    method: str
-    device: Device
-    allocations: List[ProgramAllocation] = field(default_factory=list)
+    def cache_token(self) -> Hashable:
+        return ("qucp", self.sigma)
 
-    @property
-    def partitions(self) -> List[Tuple[int, ...]]:
-        """Partitions in original program order."""
-        ordered = sorted(self.allocations, key=lambda a: a.index)
-        return [a.partition for a in ordered]
-
-    def used_qubits(self) -> int:
-        """Total number of allocated physical qubits."""
-        return sum(len(a.partition) for a in self.allocations)
-
-    def throughput(self) -> float:
-        """Hardware throughput achieved by this allocation."""
-        return hardware_throughput(self.used_qubits(),
-                                   self.device.num_qubits)
-
-    def allocation_for(self, index: int) -> ProgramAllocation:
-        """The allocation of the *index*-th input circuit."""
-        for a in self.allocations:
-            if a.index == index:
-                return a
-        raise KeyError(f"no allocation for program {index}")
-
-
-# A scoring hook: (candidate, suspects) -> EFS value.  QuMC overrides the
-# multiplier source; QuCP uses the constant sigma.
-ScoreFn = Callable[[PartitionCandidate, Tuple[Edge, ...], int, int], float]
-
-
-def allocate_greedy(
-    circuits: Sequence[QuantumCircuit],
-    device: Device,
-    score_fn_factory: Callable[[List[Tuple[int, ...]]], ScoreFn],
-    method: str,
-) -> AllocationResult:
-    """Shared allocation loop: largest program first, best EFS candidate.
-
-    *score_fn_factory* receives the list of already-allocated partitions
-    and returns the scoring function for the next program — this is where
-    QuCP (sigma), QuMC (SRB ratios) and the crosstalk-blind baselines
-    differ.
-    """
-    order = sorted(range(len(circuits)),
-                   key=lambda i: -circuits[i].num_qubits)
-    result = AllocationResult(method=method, device=device)
-    allocated_qubits: List[int] = []
-    allocated_parts: List[Tuple[int, ...]] = []
-    for idx in order:
-        circuit = circuits[idx]
-        candidates = grow_partition_candidates(
-            circuit.num_qubits, device.coupling, device.calibration,
-            allocated=allocated_qubits,
-        )
-        if not candidates:
-            raise RuntimeError(
-                f"no free partition of size {circuit.num_qubits} left on "
-                f"{device.name} for program {idx}")
-        score_fn = score_fn_factory(allocated_parts)
-        n2q = circuit.num_twoq_gates()
-        n1q = circuit.size() - n2q
-        best: Optional[Tuple[float, PartitionCandidate,
-                             Tuple[Edge, ...]]] = None
-        for cand in candidates:
-            suspects = crosstalk_suspect_pairs(
-                cand.qubits, device.coupling, allocated_parts)
-            efs = score_fn(cand, suspects, n2q, n1q)
-            if best is None or efs < best[0]:
-                best = (efs, cand, suspects)
-        assert best is not None
-        efs, cand, suspects = best
-        result.allocations.append(
-            ProgramAllocation(idx, circuit, cand.qubits, efs, suspects))
-        allocated_qubits.extend(cand.qubits)
-        allocated_parts.append(cand.qubits)
-    return result
+    def score(self, engine: AllocationEngine, ctx: PlacementContext,
+              candidate: PartitionCandidate, suspects: Tuple[Edge, ...],
+              n2q: int, n1q: int) -> float:
+        device = engine.device
+        return estimated_fidelity_score(
+            candidate.qubits, device.coupling, device.calibration,
+            n2q, n1q, crosstalk_pairs=suspects, sigma=self.sigma)
 
 
 def qucp_allocate(
@@ -132,14 +68,4 @@ def qucp_allocate(
     sigma: float = DEFAULT_SIGMA,
 ) -> AllocationResult:
     """Allocate partitions with QuCP (crosstalk emulated via *sigma*)."""
-
-    def factory(allocated: List[Tuple[int, ...]]) -> ScoreFn:
-        def score(cand: PartitionCandidate, suspects: Tuple[Edge, ...],
-                  n2q: int, n1q: int) -> float:
-            return estimated_fidelity_score(
-                cand.qubits, device.coupling, device.calibration,
-                n2q, n1q, crosstalk_pairs=suspects, sigma=sigma)
-        return score
-
-    return allocate_greedy(circuits, device, factory,
-                           method=f"qucp(sigma={sigma:g})")
+    return QucpAllocator(sigma=sigma).allocate(circuits, device)

@@ -9,6 +9,12 @@ total runtime.
 This module provides a deterministic FIFO queue simulator over submitted
 jobs plus the batching policy, quantifying the "total runtime reduction up
 to six times" the paper cites for its 6-copy Manhattan experiments.
+
+It is the *analytic* counterpart of the discrete-event service layer in
+:mod:`repro.core.scheduler`: a single-device :class:`~.scheduler.
+CloudScheduler` at ``max_batch_size=1`` serves jobs exactly like this
+FIFO model (each program its own hardware job, arrival order, one
+device), which the scheduler tests assert.
 """
 
 from __future__ import annotations
@@ -45,11 +51,19 @@ class QueueReport:
     completion_ns: Tuple[float, ...]
     waiting_ns: Tuple[float, ...]
     makespan_ns: float
+    arrival_ns: Tuple[float, ...] = ()
+
+    @property
+    def turnaround_ns(self) -> Tuple[float, ...]:
+        """Per-job completion - arrival (waiting + execution)."""
+        arrivals = self.arrival_ns or (0.0,) * len(self.completion_ns)
+        return tuple(c - a for c, a in zip(self.completion_ns, arrivals))
 
     @property
     def mean_turnaround_ns(self) -> float:
         """Average waiting + execution time per job."""
-        return float(sum(self.completion_ns) / len(self.completion_ns))
+        turnaround = self.turnaround_ns
+        return float(sum(turnaround) / len(turnaround))
 
     @property
     def mean_waiting_ns(self) -> float:
@@ -76,7 +90,8 @@ def simulate_fifo_queue(jobs: Sequence[JobSpec]) -> QueueReport:
         device_free = start + job.execution_ns
         completion[idx] = device_free
     return QueueReport(tuple(completion), tuple(waiting),
-                       makespan_ns=device_free)
+                       makespan_ns=device_free,
+                       arrival_ns=tuple(j.arrival_ns for j in jobs))
 
 
 def batched_speedup(

@@ -4,24 +4,36 @@ QuMC runs the same greedy partitioning as QuCP but, instead of a fixed
 sigma, inflates a suspect link's CX error by the *measured* SRB crosstalk
 ratio against the specific allocated link it neighbours.  Accurate — but
 it costs the full Table-I characterization campaign up front.
+
+Registered as ``"qumc"``; without an explicit ratio map the registry
+instance falls back to :func:`oracle_characterization` (the idealized
+ground-truth map), built lazily per device.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..characterization.srb import CrosstalkCharacterization
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..hardware.topology import Edge
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    PlacementContext,
+    register_allocator,
+)
 from .metrics import estimated_fidelity_score
 from .partition import PartitionCandidate
-from .qucp import AllocationResult, ScoreFn, allocate_greedy
 
-__all__ = ["qumc_allocate", "oracle_characterization"]
+__all__ = ["QumcAllocator", "qumc_allocate", "oracle_characterization"]
+
+RatioMap = Dict[FrozenSet[Edge], float]
 
 
-def oracle_characterization(device: Device) -> Dict[FrozenSet[Edge], float]:
+def oracle_characterization(device: Device) -> RatioMap:
     """A perfect crosstalk map straight from the ground truth.
 
     Stands in for a full SRB campaign when benchmarks only need QuMC's
@@ -29,17 +41,83 @@ def oracle_characterization(device: Device) -> Dict[FrozenSet[Edge], float]:
     cost.
     """
     coupling = device.coupling
-    out: Dict[FrozenSet[Edge], float] = {}
+    out: RatioMap = {}
     for e1, e2 in coupling.all_one_hop_edge_pairs():
         out[frozenset((e1, e2))] = device.crosstalk.factor(e1, e2)
     return out
+
+
+@register_allocator
+class QumcAllocator(Allocator):
+    """EFS scoring with per-link measured crosstalk multipliers."""
+
+    name = "qumc"
+
+    def __init__(
+        self,
+        ratio_map: Optional[RatioMap] = None,
+        characterization: Optional[CrosstalkCharacterization] = None,
+    ) -> None:
+        if ratio_map is None and characterization is not None:
+            ratio_map = characterization.ratio_map()
+        #: None means "oracle per device", resolved lazily in score().
+        #: Treated as immutable once passed in.
+        self.ratio_map = ratio_map
+        self._token = ("qumc", "oracle") if ratio_map is None else (
+            "qumc", frozenset(ratio_map.items()))
+
+    def cache_token(self):
+        # Value-based: instances with equal ratio maps (or both on the
+        # per-device oracle) share one cache namespace, so repeated
+        # qumc_allocate calls hit the memo instead of accumulating
+        # instance-keyed entries.
+        return self._token
+
+    def method_label(self) -> str:
+        # Make the free ground-truth characterization visible in the
+        # allocation record instead of passing it off as measured SRB.
+        return "qumc" if self.ratio_map is not None else "qumc(oracle)"
+
+    def _ratios(self, engine: "AllocationEngine") -> RatioMap:
+        if self.ratio_map is not None:
+            return self.ratio_map
+        # Memoized in the engine's per-device scratch space.
+        oracle = engine.scratch.get("qumc_oracle_ratios")
+        if oracle is None:
+            oracle = oracle_characterization(engine.device)
+            engine.scratch["qumc_oracle_ratios"] = oracle
+        return oracle
+
+    def score(self, engine: AllocationEngine, ctx: PlacementContext,
+              candidate: PartitionCandidate, suspects: Tuple[Edge, ...],
+              n2q: int, n1q: int) -> float:
+        device = engine.device
+        coupling = device.coupling
+        ratio_map = self._ratios(engine)
+        # Per-link measured multiplier: worst ratio against any allocated
+        # one-hop neighbour link.
+        total_inflated = 0.0
+        edges = coupling.subgraph_edges(candidate.qubits)
+        for edge in edges:
+            err = device.calibration.cx_error(*edge)
+            worst = 1.0
+            for other in ctx.edges:
+                if coupling.pair_distance(edge, other) == 1:
+                    ratio = ratio_map.get(frozenset((edge, other)), 1.0)
+                    worst = max(worst, ratio)
+            total_inflated += err * worst
+        avg_twoq = total_inflated / len(edges) if edges else (
+            0.0 if n2q == 0 else 1.0)
+        base = estimated_fidelity_score(
+            candidate.qubits, coupling, device.calibration, 0, n1q)
+        return base + avg_twoq * n2q
 
 
 def qumc_allocate(
     circuits: Sequence[QuantumCircuit],
     device: Device,
     characterization: Optional[CrosstalkCharacterization] = None,
-    ratio_map: Optional[Dict[FrozenSet[Edge], float]] = None,
+    ratio_map: Optional[RatioMap] = None,
 ) -> AllocationResult:
     """Allocate partitions with QuMC using a measured crosstalk map.
 
@@ -47,40 +125,9 @@ def qumc_allocate(
     run) or a pre-built *ratio_map*; :func:`oracle_characterization`
     supplies the idealized map.
     """
-    if ratio_map is None:
-        if characterization is None:
-            raise ValueError(
-                "QuMC needs SRB data: pass characterization or ratio_map")
-        ratio_map = characterization.ratio_map()
-
-    coupling = device.coupling
-
-    def factory(allocated: List[Tuple[int, ...]]) -> ScoreFn:
-        allocated_edges: List[Edge] = []
-        for part in allocated:
-            allocated_edges.extend(coupling.subgraph_edges(part))
-
-        def score(cand: PartitionCandidate, suspects: Tuple[Edge, ...],
-                  n2q: int, n1q: int) -> float:
-            # Per-link measured multiplier: worst ratio against any
-            # allocated one-hop neighbour link.
-            total_inflated = 0.0
-            edges = coupling.subgraph_edges(cand.qubits)
-            for edge in edges:
-                err = device.calibration.cx_error(*edge)
-                worst = 1.0
-                for other in allocated_edges:
-                    if coupling.pair_distance(edge, other) == 1:
-                        ratio = ratio_map.get(
-                            frozenset((edge, other)), 1.0)
-                        worst = max(worst, ratio)
-                total_inflated += err * worst
-            avg_twoq = total_inflated / len(edges) if edges else (
-                0.0 if n2q == 0 else 1.0)
-            base = estimated_fidelity_score(
-                cand.qubits, coupling, device.calibration, 0, n1q)
-            return base + avg_twoq * n2q
-
-        return score
-
-    return allocate_greedy(circuits, device, factory, method="qumc")
+    if ratio_map is None and characterization is None:
+        raise ValueError(
+            "QuMC needs SRB data: pass characterization or ratio_map")
+    return QumcAllocator(
+        ratio_map=ratio_map, characterization=characterization,
+    ).allocate(circuits, device)

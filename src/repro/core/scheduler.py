@@ -1,194 +1,425 @@
-"""Online multi-user scheduler: the paper's cloud scenario.
+"""Event-driven multi-user, multi-device scheduler: the cloud scenario.
 
 Jobs from different users arrive over time.  A serial service runs each
 program as its own hardware job; a **multi-programming service** holds a
-short batching window, packs the queued programs that fit together (QuCP
-partitions + the fidelity threshold), and dispatches them as one job.
+short batching window, packs the queued programs that fit together
+(allocator partitions + the fidelity threshold), and dispatches them as
+one job — across a :class:`~repro.hardware.fleet.DeviceFleet` of one or
+more heterogeneous devices.
 
-This module quantifies the end of the paper's abstract — "improve the
-hardware throughput and reduce the overall runtime" — with actual QuCP
-allocations on a simulated device.
+The engine is a discrete-event simulation (:mod:`repro.core.events`):
+ARRIVAL events feed the pending queue, DISPATCH events pack and launch
+batches, COMPLETION events free devices.  Strictly serial single-device
+FIFO service is the ``max_batch_size=1``, one-device degenerate point;
+``fidelity_threshold=0`` is the paper's Sec. IV-B operating point, which
+still co-schedules programs whose placements degrade by exactly zero.
+The legacy :class:`OnlineScheduler` is kept as the single-device,
+zero-window QuCP configuration.
+
+Admission reuses the memoized :class:`~.allocators.AllocationEngine`:
+"where does this program go solo / inside the current batch?" is cached
+by circuit structure and chip state, so repeated admission checks cost a
+dictionary lookup instead of a candidate rescan.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
+from ..hardware.fleet import DeviceFleet
 from ..sim.executor import program_duration
-from .metrics import estimated_fidelity_score
-from .partition import crosstalk_suspect_pairs, grow_partition_candidates
-from .qucp import DEFAULT_SIGMA, AllocationResult, ProgramAllocation
+from .allocators import (
+    AllocationEngine,
+    AllocationResult,
+    Allocator,
+    EMPTY_CONTEXT,
+    Placement,
+    PlacementContext,
+    ProgramAllocation,
+    allocation_engine,
+    resolve_allocator,
+)
+from .events import EventKind, EventQueue
+from .qucp import DEFAULT_SIGMA, QucpAllocator
 
-__all__ = ["SubmittedProgram", "ScheduleOutcome", "OnlineScheduler"]
+__all__ = ["SubmittedProgram", "DispatchedBatch", "ScheduleOutcome",
+           "CloudScheduler", "OnlineScheduler"]
 
 
 @dataclass(frozen=True)
 class SubmittedProgram:
-    """One user submission."""
+    """One user submission.
+
+    *priority*: higher values are served first; ties fall back to
+    arrival time, then submission order (the default 0 everywhere
+    degenerates to plain FIFO).
+    """
 
     circuit: QuantumCircuit
     arrival_ns: float = 0.0
     user: str = "anonymous"
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class DispatchedBatch:
+    """One hardware job as dispatched by the event engine."""
+
+    device_index: int
+    device_name: str
+    start_ns: float
+    end_ns: float
+    allocation: AllocationResult
+
+    @property
+    def duration_ns(self) -> float:
+        """Wall-clock length of the job."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Submission indices packed into this job."""
+        return tuple(sorted(a.index for a in self.allocation.allocations))
 
 
 @dataclass
 class ScheduleOutcome:
-    """Result of scheduling a stream of submissions."""
+    """Result of scheduling a stream of submissions.
+
+    ``mean_turnaround_ns`` averages over *completed* submissions and is
+    NaN when everything was rejected (check :attr:`rejected`).
+    """
 
     num_jobs: int
     makespan_ns: float
     mean_turnaround_ns: float
     mean_throughput: float
-    batches: List[AllocationResult] = field(default_factory=list)
+    rejected: List[int] = field(default_factory=list)
+    completion_ns: Dict[int, float] = field(default_factory=dict)
+    jobs: List[DispatchedBatch] = field(default_factory=list)
+
+    @property
+    def batches(self) -> List[AllocationResult]:
+        """Per-job allocations, in dispatch order (derived from
+        :attr:`jobs` so the two views can never desynchronize)."""
+        return [job.allocation for job in self.jobs]
+
+    def turnaround_ns(self, submissions: Sequence[SubmittedProgram]
+                      ) -> Dict[int, float]:
+        """Per-completed-submission turnaround (completion - arrival)."""
+        return {
+            i: done - submissions[i].arrival_ns
+            for i, done in self.completion_ns.items()
+        }
+
+    def device_busy_ns(self) -> Dict[int, float]:
+        """Accumulated busy time per fleet device index (names can
+        repeat across a fleet; indices cannot)."""
+        busy: Dict[int, float] = {}
+        for job in self.jobs:
+            busy[job.device_index] = (
+                busy.get(job.device_index, 0.0) + job.duration_ns)
+        return busy
 
 
-class OnlineScheduler:
-    """Batch queued programs into QuCP-partitioned parallel jobs.
+class CloudScheduler:
+    """Discrete-event multi-programming service over a device fleet.
 
     Parameters
     ----------
-    device:
-        Target device.
+    fleet:
+        A :class:`DeviceFleet`, a single :class:`Device`, or a sequence
+        of devices (wrapped with the fleet's default policy).
+    allocator:
+        Incremental allocation strategy — a registry name or an
+        :class:`Allocator` instance.  Default QuCP with the paper sigma.
     fidelity_threshold:
-        Maximum admitted relative EFS degradation vs. the batch's first
-        program (the Sec. IV-B knob); 0 degenerates to serial service.
+        Maximum admitted relative EFS degradation vs. a program's own
+        solo-best placement (the Sec. IV-B knob).  0 admits a co-tenant
+        only when it still gets exactly its solo-best placement; for
+        strictly serial one-program-per-job service combine it with
+        ``max_batch_size=1``.
+    max_batch_size:
+        Cap on programs per hardware job (``None`` = unlimited); 1
+        forces serial service regardless of threshold.
+    batch_window_ns:
+        How long a batch head waits after its arrival before it may
+        dispatch, letting later arrivals join its batch.  0 dispatches
+        as soon as a device frees up.
     job_overhead_ns:
         Fixed per-job cost (load/compile/readout reset), the quantity
         batching amortizes.
     sigma:
-        QuCP's crosstalk parameter.
+        QuCP's crosstalk parameter, for the default allocator only —
+        combining it with an explicit *allocator* is an error (pass the
+        parameter to the allocator instead, e.g.
+        ``get_allocator("qucp", sigma=...)``).
+    """
+
+    def __init__(
+        self,
+        fleet: Union[DeviceFleet, Device, Sequence[Device]],
+        allocator: Union[str, Allocator, None] = None,
+        fidelity_threshold: float = 0.3,
+        batch_window_ns: float = 0.0,
+        job_overhead_ns: float = 1e6,
+        sigma: Optional[float] = None,
+        max_batch_size: Optional[int] = None,
+    ) -> None:
+        if fidelity_threshold < 0:
+            raise ValueError("fidelity threshold must be non-negative")
+        if batch_window_ns < 0:
+            raise ValueError("batch window must be non-negative")
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max batch size must be at least 1")
+        if not isinstance(fleet, DeviceFleet):
+            fleet = DeviceFleet(fleet)
+        self.fleet = fleet
+        self.allocator = resolve_allocator(allocator, sigma,
+                                           require_incremental=True)
+        self.fidelity_threshold = fidelity_threshold
+        self.batch_window_ns = batch_window_ns
+        self.job_overhead_ns = job_overhead_ns
+        self.max_batch_size = max_batch_size
+
+    # ------------------------------------------------------------------
+    def _engine(self, device_index: int) -> AllocationEngine:
+        return allocation_engine(self.fleet[device_index])
+
+    def _solo(self, device_index: int,
+              circuit: QuantumCircuit) -> Optional[Placement]:
+        return self._engine(device_index).solo_best(self.allocator, circuit)
+
+    def _try_admit(
+        self,
+        device_index: int,
+        circuit: QuantumCircuit,
+        ctx: PlacementContext,
+        is_head: bool,
+    ) -> Optional[Placement]:
+        """Admit *circuit* iff its batch placement degrades at most
+        ``fidelity_threshold`` relative to its own solo-best placement
+        on the same device."""
+        engine = self._engine(device_index)
+        placement = engine.best_placement(self.allocator, circuit, ctx)
+        if placement is None or is_head:
+            return placement
+        solo = engine.solo_best(self.allocator, circuit)
+        if solo is None or solo.efs <= 0:
+            return placement
+        degradation = (placement.efs - solo.efs) / solo.efs
+        if degradation > self.fidelity_threshold + 1e-12:
+            return None
+        return placement
+
+    # ------------------------------------------------------------------
+    def schedule(self, submissions: Sequence[SubmittedProgram]
+                 ) -> ScheduleOutcome:
+        """Serve *submissions* through the discrete-event engine.
+
+        Programs that fit no device in the fleet (even on an idle chip)
+        are rejected into :attr:`ScheduleOutcome.rejected` instead of
+        stalling the service; everything else completes exactly once.
+        """
+        if not submissions:
+            raise ValueError("no submissions")
+        for sub in submissions:
+            if sub.arrival_ns < 0:
+                raise ValueError("arrival times must be non-negative")
+
+        def order_key(i: int) -> Tuple[float, float, int]:
+            return (-submissions[i].priority, submissions[i].arrival_ns, i)
+
+        n_devices = len(self.fleet)
+        events = EventQueue()
+        pending: List[int] = []
+        busy = [False] * n_devices
+        load = [0.0] * n_devices
+        rr_cursor = 0
+        completion: Dict[int, float] = {}
+        rejected: List[int] = []
+        jobs: List[DispatchedBatch] = []
+        throughputs: List[float] = []
+
+        for i, sub in enumerate(submissions):
+            events.push(sub.arrival_ns, EventKind.ARRIVAL, i)
+
+        def fits_somewhere(circuit: QuantumCircuit) -> bool:
+            return any(self._solo(d, circuit) is not None
+                       for d in range(n_devices))
+
+        def dispatch(now: float) -> None:
+            nonlocal rr_cursor
+            while pending:
+                free = [d for d in range(n_devices) if not busy[d]]
+                if not free:
+                    return
+                # Pick the batch head: the first pending program whose
+                # window has closed and that fits a free device.  A head
+                # that only fits busy devices keeps its queue position
+                # but does not block later programs from using idle
+                # devices (work-conserving dispatch); a head that fits
+                # nothing in the fleet is rejected outright.
+                head = None
+                eligible: List[int] = []
+                solo_by_device = {}
+                restart = False
+                for idx in list(pending):
+                    sub = submissions[idx]
+                    if (now + 1e-12
+                            < sub.arrival_ns + self.batch_window_ns):
+                        # Still collecting arrivals; its window-close
+                        # DISPATCH event is queued, and programs behind
+                        # it may use the idle capacity meanwhile.
+                        continue
+                    solo_by_device = {
+                        d: self._solo(d, sub.circuit) for d in free}
+                    eligible = [d for d in free
+                                if solo_by_device[d] is not None]
+                    if eligible:
+                        head = idx
+                        break
+                    if not fits_somewhere(sub.circuit):
+                        rejected.append(idx)
+                        pending.remove(idx)
+                        restart = True
+                        break
+                    # Fits only busy devices: hold position, try later
+                    # pending programs on the idle capacity.
+                if restart:
+                    continue
+                if head is None:
+                    return
+                head_sub = submissions[head]
+                chosen = self.fleet.select(
+                    eligible,
+                    loads={d: load[d] for d in eligible},
+                    solo_efs={d: solo_by_device[d].efs for d in eligible},
+                    rr_cursor=rr_cursor,
+                )
+                device = self.fleet[chosen]
+                start = now
+                batch = AllocationResult(
+                    method=(f"online-{self.allocator.name}"
+                            f"(th={self.fidelity_threshold:g})"),
+                    device=device)
+                ctx = EMPTY_CONTEXT
+                admitted: List[int] = []
+                # The head admits first, on the empty chip, so it always
+                # receives its solo-best placement; the rest of the
+                # queue follows in priority order.  Everything in
+                # `pending` has arrived: ARRIVAL events sort before
+                # same-instant DISPATCH events, so a program arriving
+                # after this dispatch fires can never be in the list —
+                # that ordering (events.py) is what keeps late arrivals
+                # out of in-flight batches.
+                admission_order = [head] + [
+                    i for i in pending if i != head]
+                for idx in admission_order:
+                    if (self.max_batch_size is not None
+                            and len(admitted) >= self.max_batch_size):
+                        break
+                    placement = self._try_admit(
+                        chosen, submissions[idx].circuit, ctx,
+                        is_head=idx == head)
+                    if placement is None:
+                        continue
+                    batch.allocations.append(ProgramAllocation(
+                        idx, submissions[idx].circuit,
+                        placement.partition, placement.efs,
+                        placement.suspects))
+                    ctx = ctx.extended(placement.partition, device)
+                    admitted.append(idx)
+                durations = device.calibration.gate_duration
+                job_len = self.job_overhead_ns + max(
+                    program_duration(submissions[i].circuit, durations)
+                    for i in admitted)
+                end = start + job_len
+                for i in admitted:
+                    completion[i] = end
+                    pending.remove(i)
+                busy[chosen] = True
+                load[chosen] += job_len
+                rr_cursor = (chosen + 1) % n_devices
+                throughputs.append(batch.throughput())
+                jobs.append(DispatchedBatch(
+                    chosen, device.name, start, end, batch))
+                events.push(end, EventKind.COMPLETION, chosen)
+
+        for event in events.drain():
+            if event.kind is EventKind.ARRIVAL:
+                pending.append(event.payload)
+                pending.sort(key=order_key)
+                events.push(event.time_ns + self.batch_window_ns,
+                            EventKind.DISPATCH)
+            elif event.kind is EventKind.COMPLETION:
+                busy[event.payload] = False
+                events.push(event.time_ns, EventKind.DISPATCH)
+            else:
+                dispatch(event.time_ns)
+
+        assert not pending, "event queue drained with programs pending"
+
+        turnarounds = [
+            completion[i] - submissions[i].arrival_ns for i in completion]
+        makespan = max(completion.values(), default=0.0)
+        return ScheduleOutcome(
+            num_jobs=len(jobs),
+            makespan_ns=makespan,
+            mean_turnaround_ns=(
+                float(sum(turnarounds) / len(turnarounds))
+                if turnarounds else math.nan),
+            mean_throughput=(
+                float(sum(throughputs) / len(throughputs))
+                if throughputs else 0.0),
+            rejected=rejected,
+            completion_ns=completion,
+            jobs=jobs,
+        )
+
+
+class OnlineScheduler(CloudScheduler):
+    """Single-device batching service — the legacy entry point.
+
+    Exactly :class:`CloudScheduler` pinned to one device, QuCP
+    allocation, and a zero batching window; kept because every paper
+    experiment and example drives this configuration.
     """
 
     def __init__(self, device: Device, fidelity_threshold: float = 0.3,
                  job_overhead_ns: float = 1e6,
                  sigma: float = DEFAULT_SIGMA) -> None:
-        if fidelity_threshold < 0:
-            raise ValueError("fidelity threshold must be non-negative")
+        super().__init__(
+            DeviceFleet(device),
+            allocator=QucpAllocator(sigma=sigma),
+            fidelity_threshold=fidelity_threshold,
+            batch_window_ns=0.0,
+            job_overhead_ns=job_overhead_ns,
+        )
         self.device = device
-        self.fidelity_threshold = fidelity_threshold
-        self.job_overhead_ns = job_overhead_ns
         self.sigma = sigma
 
-    # ------------------------------------------------------------------
+    # Compatibility shim used by older tests/notebooks.
     def _best_placement(
         self,
         circuit: QuantumCircuit,
-        allocated_qubits: List[int],
-        allocated_parts: List[Tuple[int, ...]],
+        allocated_qubits: Sequence[int],
+        allocated_parts: Sequence[Sequence[int]],
     ) -> Optional[Tuple[Tuple[int, ...], float, Tuple]]:
         """Best partition for *circuit* given the batch so far, or None."""
-        candidates = grow_partition_candidates(
-            circuit.num_qubits, self.device.coupling,
-            self.device.calibration, allocated=allocated_qubits)
-        if not candidates:
+        ctx = PlacementContext.from_parts(allocated_parts, self.device)
+        blocked = ctx.qubits | frozenset(allocated_qubits)
+        if blocked != ctx.qubits:
+            # Legacy callers may block qubits beyond the listed parts
+            # (e.g. masking broken qubits); honour the full set.
+            ctx = PlacementContext(parts=ctx.parts, qubits=blocked,
+                                   edges=ctx.edges)
+        placement = allocation_engine(self.device).best_placement(
+            self.allocator, circuit, ctx)
+        if placement is None:
             return None
-        n2q = circuit.num_twoq_gates()
-        n1q = circuit.size() - n2q
-        best = None
-        for cand in candidates:
-            suspects = crosstalk_suspect_pairs(
-                cand.qubits, self.device.coupling, allocated_parts)
-            efs = estimated_fidelity_score(
-                cand.qubits, self.device.coupling,
-                self.device.calibration, n2q, n1q,
-                crosstalk_pairs=suspects, sigma=self.sigma)
-            if best is None or efs < best[1]:
-                best = (cand.qubits, efs, suspects)
-        return best
-
-    def _try_admit(
-        self,
-        circuit: QuantumCircuit,
-        allocated_qubits: List[int],
-        allocated_parts: List[Tuple[int, ...]],
-        is_head: bool,
-    ) -> Optional[Tuple[Tuple[int, ...], float, Tuple]]:
-        """Admit *circuit* iff its batch placement degrades at most
-        *fidelity_threshold* relative to its own solo-best placement."""
-        best = self._best_placement(circuit, allocated_qubits,
-                                    allocated_parts)
-        if best is None or is_head:
-            return best
-        solo = self._best_placement(circuit, [], [])
-        if solo is None or solo[1] <= 0:
-            return best
-        degradation = (best[1] - solo[1]) / solo[1]
-        if degradation > self.fidelity_threshold + 1e-12:
-            return None
-        return best
-
-    def schedule(self, submissions: Sequence[SubmittedProgram]
-                 ) -> ScheduleOutcome:
-        """Serve *submissions* in arrival order with greedy batching.
-
-        The scheduler repeatedly takes the oldest queued program, then
-        greedily admits further queued programs (in order) while the
-        fidelity threshold and chip capacity allow.
-        """
-        if not submissions:
-            raise ValueError("no submissions")
-        order = sorted(range(len(submissions)),
-                       key=lambda i: (submissions[i].arrival_ns, i))
-        pending = list(order)
-        durations = self.device.calibration.gate_duration
-        device_free = 0.0
-        completion: Dict[int, float] = {}
-        batches: List[AllocationResult] = []
-        throughputs: List[float] = []
-
-        while pending:
-            head = pending[0]
-            start = max(device_free, submissions[head].arrival_ns)
-            batch = AllocationResult(
-                method=f"online-qucp(th={self.fidelity_threshold:g})",
-                device=self.device)
-            allocated_qubits: List[int] = []
-            allocated_parts: List[Tuple[int, ...]] = []
-            admitted: List[int] = []
-            for idx in list(pending):
-                if submissions[idx].arrival_ns > start:
-                    break  # only programs already queued can join
-                found = self._try_admit(
-                    submissions[idx].circuit, allocated_qubits,
-                    allocated_parts, is_head=idx == head)
-                if found is None:
-                    if idx == head:
-                        raise RuntimeError(
-                            "head program does not fit on the device")
-                    continue
-                partition, efs, suspects = found
-                batch.allocations.append(ProgramAllocation(
-                    idx, submissions[idx].circuit, partition, efs,
-                    suspects))
-                allocated_qubits.extend(partition)
-                allocated_parts.append(partition)
-                admitted.append(idx)
-
-            batch_duration = self.job_overhead_ns + max(
-                program_duration(submissions[i].circuit, durations)
-                for i in admitted
-            )
-            end = start + batch_duration
-            for i in admitted:
-                completion[i] = end
-                pending.remove(i)
-            device_free = end
-            batches.append(batch)
-            throughputs.append(batch.throughput())
-
-        turnarounds = [
-            completion[i] - submissions[i].arrival_ns
-            for i in range(len(submissions))
-        ]
-        return ScheduleOutcome(
-            num_jobs=len(batches),
-            makespan_ns=device_free,
-            mean_turnaround_ns=float(
-                sum(turnarounds) / len(turnarounds)),
-            mean_throughput=float(
-                sum(throughputs) / len(throughputs)),
-            batches=batches,
-        )
+        return (placement.partition, placement.efs, placement.suspects)

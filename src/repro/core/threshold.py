@@ -8,21 +8,26 @@ relative degradation stays within a user-chosen **fidelity threshold**.
 Threshold 0 admits exactly one copy (the best region is unique); larger
 thresholds trade fidelity for throughput — the trade-off the paper's
 Fig. 4 maps out on IBM Q 65 Manhattan.
+
+Placement search runs on the shared :class:`~.allocators.AllocationEngine`,
+so a threshold sweep over the same circuit pays for candidate growth and
+scoring once per distinct chip state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
-from .metrics import estimated_fidelity_score
-from .partition import crosstalk_suspect_pairs, grow_partition_candidates
-from .qucp import (
-    DEFAULT_SIGMA,
+from .allocators import (
     AllocationResult,
+    Allocator,
+    EMPTY_CONTEXT,
     ProgramAllocation,
+    allocation_engine,
+    resolve_allocator,
 )
 
 __all__ = ["ThresholdDecision", "select_parallel_count"]
@@ -53,55 +58,45 @@ def select_parallel_count(
     device: Device,
     threshold: float,
     max_copies: int = 6,
-    sigma: float = DEFAULT_SIGMA,
+    sigma: Optional[float] = None,
+    allocator: Union[str, Allocator, None] = None,
 ) -> ThresholdDecision:
     """Admit up to *max_copies* copies while EFS degradation <= threshold.
 
-    Copies are placed one at a time with QuCP scoring; the k-th copy is
-    admitted iff ``(EFS_k - EFS_1)/EFS_1 <= threshold``.
+    Copies are placed one at a time — with QuCP scoring by default, or
+    any incremental registry *allocator* — and the k-th copy is admitted
+    iff ``(EFS_k - EFS_1)/EFS_1 <= threshold``.  *sigma* parameterizes
+    only the default QuCP scoring; combining it with an explicit
+    *allocator* is an error (configure the allocator itself instead).
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
-    n2q = circuit.num_twoq_gates()
-    n1q = circuit.size() - n2q
-    size = circuit.num_qubits
+    allocator = resolve_allocator(allocator, sigma,
+                                  require_incremental=True)
+    engine = allocation_engine(device)
 
-    result = AllocationResult(method=f"qucp-threshold({threshold:g})",
-                              device=device)
-    allocated_qubits: List[int] = []
-    allocated_parts: List[Tuple[int, ...]] = []
+    result = AllocationResult(
+        method=f"{allocator.name}-threshold({threshold:g})", device=device)
+    ctx = EMPTY_CONTEXT
     efs_series: List[float] = []
     base_efs: Optional[float] = None
 
     for k in range(max_copies):
-        candidates = grow_partition_candidates(
-            size, device.coupling, device.calibration,
-            allocated=allocated_qubits)
-        if not candidates:
+        placement = engine.best_placement(allocator, circuit, ctx)
+        if placement is None:
             break
-        best = None
-        for cand in candidates:
-            suspects = crosstalk_suspect_pairs(
-                cand.qubits, device.coupling, allocated_parts)
-            efs = estimated_fidelity_score(
-                cand.qubits, device.coupling, device.calibration,
-                n2q, n1q, crosstalk_pairs=suspects, sigma=sigma)
-            if best is None or efs < best[0]:
-                best = (efs, cand, suspects)
-        assert best is not None
-        efs, cand, suspects = best
         if base_efs is None:
-            base_efs = efs
+            base_efs = placement.efs
         else:
-            degradation = (efs - base_efs) / base_efs if base_efs > 0 else 0.0
+            degradation = ((placement.efs - base_efs) / base_efs
+                           if base_efs > 0 else 0.0)
             if degradation > threshold:
                 break
         result.allocations.append(
-            ProgramAllocation(k, circuit.copy(), cand.qubits, efs,
-                              suspects))
-        allocated_qubits.extend(cand.qubits)
-        allocated_parts.append(cand.qubits)
-        efs_series.append(efs)
+            ProgramAllocation(k, circuit.copy(), placement.partition,
+                              placement.efs, placement.suspects))
+        ctx = ctx.extended(placement.partition, device)
+        efs_series.append(placement.efs)
 
     return ThresholdDecision(
         threshold=threshold,

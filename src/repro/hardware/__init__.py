@@ -10,6 +10,7 @@ from .devices import (
     ibm_toronto,
     linear_device,
 )
+from .fleet import PLACEMENT_POLICIES, DeviceFleet
 from .topology import CouplingMap, Edge
 from .visualize import render_device, render_partitions
 
@@ -18,7 +19,9 @@ __all__ = [
     "CouplingMap",
     "CrosstalkModel",
     "Device",
+    "DeviceFleet",
     "Edge",
+    "PLACEMENT_POLICIES",
     "generate_calibration",
     "generate_crosstalk_model",
     "ibm_manhattan",

@@ -1,4 +1,5 @@
-"""Benchmark workloads: the paper's Table II circuit suite."""
+"""Benchmark workloads: the paper's Table II circuit suite plus
+synthetic multi-user traffic generators for the cloud scheduler."""
 
 from .suite import (
     ALIASES,
@@ -9,13 +10,27 @@ from .suite import (
     workload,
     workload_names,
 )
+from .traffic import (
+    ARRIVAL_PATTERNS,
+    CIRCUIT_MIXES,
+    bursty_arrival_times,
+    poisson_arrival_times,
+    sample_workload_mix,
+    synthesize_traffic,
+)
 
 __all__ = [
     "ALIASES",
+    "ARRIVAL_PATTERNS",
+    "CIRCUIT_MIXES",
     "TABLE_II",
     "Workload",
     "all_workloads",
+    "bursty_arrival_times",
     "dump_qasm",
+    "poisson_arrival_times",
+    "sample_workload_mix",
+    "synthesize_traffic",
     "workload",
     "workload_names",
 ]

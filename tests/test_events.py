@@ -1,0 +1,50 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.core import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, "late")
+        q.push(1.0, EventKind.ARRIVAL, "early")
+        q.push(3.0, EventKind.ARRIVAL, "middle")
+        assert [e.payload for e in q.drain()] == [
+            "early", "middle", "late"]
+
+    def test_same_instant_kind_ordering(self):
+        """ARRIVAL < COMPLETION < DISPATCH at one instant: programs are
+        queued and devices freed before the dispatch decision runs."""
+        q = EventQueue()
+        q.push(2.0, EventKind.DISPATCH)
+        q.push(2.0, EventKind.ARRIVAL)
+        q.push(2.0, EventKind.COMPLETION)
+        kinds = [e.kind for e in q.drain()]
+        assert kinds == [EventKind.ARRIVAL, EventKind.COMPLETION,
+                         EventKind.DISPATCH]
+
+    def test_fifo_within_kind(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, EventKind.ARRIVAL, i)
+        assert [e.payload for e in q.drain()] == [0, 1, 2, 3, 4]
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert not q
+        assert q.peek() is None
+        q.push(1.0, EventKind.DISPATCH)
+        q.push(0.5, EventKind.DISPATCH)
+        assert len(q) == 2
+        assert q.peek().time_ns == 0.5
+        assert len(q) == 2  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL)

@@ -45,6 +45,23 @@ class TestFifoQueue:
         assert report.mean_turnaround_ns == 150.0
         assert report.mean_waiting_ns == 50.0
 
+    def test_turnaround_subtracts_arrival(self):
+        """Regression: turnaround is completion - arrival, not the raw
+        completion time (the two only coincide when all arrivals are 0)."""
+        jobs = [JobSpec(100.0, arrival_ns=1000.0),
+                JobSpec(100.0, arrival_ns=1000.0)]
+        report = simulate_fifo_queue(jobs)
+        assert report.completion_ns == (1100.0, 1200.0)
+        assert report.turnaround_ns == (100.0, 200.0)
+        assert report.mean_turnaround_ns == 150.0
+
+    def test_turnaround_with_idle_gap(self):
+        jobs = [JobSpec(10.0), JobSpec(10.0, arrival_ns=100.0)]
+        report = simulate_fifo_queue(jobs)
+        # The late job waits zero: its turnaround is pure execution.
+        assert report.turnaround_ns == (10.0, 10.0)
+        assert report.mean_turnaround_ns == 10.0
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             simulate_fifo_queue([])

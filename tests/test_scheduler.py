@@ -95,9 +95,24 @@ class TestOnlineScheduler:
         with pytest.raises(ValueError):
             OnlineScheduler(toronto).schedule([])
 
-    def test_oversized_program_raises(self, line5):
+    def test_oversized_program_rejected_not_fatal(self, line5):
+        """An oversized head no longer kills the service: it lands in
+        the rejected list and the rest of the queue is served."""
+        from repro.circuits import ghz_circuit
+        from repro.workloads import workload
+
+        subs = [SubmittedProgram(ghz_circuit(6).measure_all()),
+                SubmittedProgram(workload("adder").circuit())]
+        out = OnlineScheduler(line5).schedule(subs)
+        assert out.rejected == [0]
+        assert sorted(out.completion_ns) == [1]
+        assert out.num_jobs == 1
+
+    def test_all_programs_oversized(self, line5):
         from repro.circuits import ghz_circuit
 
         subs = [SubmittedProgram(ghz_circuit(6).measure_all())]
-        with pytest.raises((RuntimeError, ValueError)):
-            OnlineScheduler(line5).schedule(subs)
+        out = OnlineScheduler(line5).schedule(subs)
+        assert out.rejected == [0]
+        assert out.num_jobs == 0
+        assert out.makespan_ns == 0.0

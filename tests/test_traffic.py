@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic traffic generators."""
+
+import pytest
+
+from repro.workloads import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+    sample_workload_mix,
+    synthesize_traffic,
+)
+
+
+class TestPoissonArrivals:
+    def test_starts_at_zero_and_monotone(self):
+        times = poisson_arrival_times(50, 1e5, seed=3)
+        assert times[0] == 0.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_deterministic_under_seed(self):
+        assert poisson_arrival_times(10, 1e5, seed=9) == \
+            poisson_arrival_times(10, 1e5, seed=9)
+
+    def test_mean_rate_roughly_respected(self):
+        times = poisson_arrival_times(2000, 1e5, seed=1)
+        mean_gap = times[-1] / (len(times) - 1)
+        assert mean_gap == pytest.approx(1e5, rel=0.15)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(0, 1e5)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(5, 0.0)
+
+
+class TestBurstyArrivals:
+    def test_bursts_are_tight_and_gaps_wide(self):
+        times = bursty_arrival_times(8, burst_size=4, burst_gap_ns=1e7,
+                                     intra_gap_ns=1e3, seed=2)
+        assert len(times) == 8
+        intra = times[3] - times[0]
+        gap = times[4] - times[3]
+        assert gap > 10 * intra
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bursty_arrival_times(0)
+        with pytest.raises(ValueError):
+            bursty_arrival_times(4, burst_gap_ns=0.0)
+
+
+class TestWorkloadMix:
+    def test_uniform_covers_suite(self):
+        picks = sample_workload_mix(400, mix="uniform", seed=0)
+        assert len({w.name for w in picks}) >= 6
+
+    def test_heavy_tail_favors_small_circuits(self):
+        picks = sample_workload_mix(400, mix="heavy_tail", seed=0)
+        small = sum(1 for w in picks if w.num_qubits == 3)
+        large = sum(1 for w in picks if w.num_qubits == 5)
+        assert small > 3 * large
+        assert large > 0  # the tail exists
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            sample_workload_mix(5, mix="bimodal")
+
+
+class TestSynthesizeTraffic:
+    def test_users_rotate_and_priorities_apply(self):
+        subs = synthesize_traffic(
+            8, num_users=4, seed=5,
+            user_priorities={"user1": 3})
+        assert [s.user for s in subs[:4]] == [
+            "user0", "user1", "user2", "user3"]
+        assert all(s.priority == 3 for s in subs if s.user == "user1")
+        assert all(s.priority == 0 for s in subs if s.user != "user1")
+
+    def test_streams_are_schedulable(self, line5):
+        from repro.core import CloudScheduler
+
+        subs = synthesize_traffic(6, pattern="bursty", seed=4,
+                                  mean_interarrival_ns=1e6)
+        out = CloudScheduler(line5, fidelity_threshold=1.0).schedule(subs)
+        assert len(out.completion_ns) + len(out.rejected) == 6
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_traffic(4, pattern="fractal")
