@@ -1,0 +1,213 @@
+"""Compile-latency benchmark: cold vs warm-context vs parallel service.
+
+The multi-programming service transpiles every incoming program onto its
+allocated partition.  This bench quantifies the three compile paths on
+fleet-scale traffic (:mod:`repro.workloads.traffic`, heavy-tail mix —
+small repeated programs dominate, exactly the cloud profile):
+
+- **cold** — the seed behaviour: every call rebuilds the
+  partition-induced coupling/calibration and re-runs the Dijkstra
+  distance tables (a fresh :class:`DeviceContext` per call, no result
+  cache);
+- **warm** — one shared :class:`DeviceContext` (memoized partition
+  sub-contexts, cached tables) plus the shared
+  :class:`~repro.core.ExecutionCache`, so repeated (program, partition)
+  pairs are cache hits;
+- **service** — :class:`~repro.core.CompileService` batch submission
+  over its persistent worker pool, same shared caches.
+
+The acceptance gate (also run in CI via ``--smoke``): warm-context
+service compilation must beat cold per-call transpilation by >= 5x on
+the repeated-program mix.  Timings land in ``BENCH_transpile.json`` so
+the compile-latency trajectory accumulates across PRs.
+
+Run:  PYTHONPATH=../src python bench_transpile.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from conftest import print_table
+
+from repro.circuits import QuantumCircuit
+from repro.core import CompileService, ExecutionCache, ProgramAllocation, \
+    allocation_engine, get_allocator
+from repro.core.executor import _circuit_key
+from repro.hardware import Device, ibm_toronto
+from repro.transpiler import DeviceContext, transpile_for_partition
+from repro.workloads import synthesize_traffic
+
+#: CI override knob (mirrors KERNEL_SPEEDUP_FLOOR/SCHEDULER_SPEEDUP_FLOOR).
+SPEEDUP_FLOOR = float(os.environ.get("TRANSPILE_SPEEDUP_FLOOR", "5.0"))
+
+ARTIFACT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_transpile.json")
+
+
+def placed_traffic(device: Device, num_programs: int, seed: int
+                   ) -> List[Tuple[QuantumCircuit, Tuple[int, ...]]]:
+    """(circuit, solo-best partition) pairs for a synthetic stream."""
+    subs = synthesize_traffic(num_programs, pattern="poisson",
+                              mean_interarrival_ns=2e5, mix="heavy_tail",
+                              seed=seed)
+    engine = allocation_engine(device)
+    allocator = get_allocator("qucp")
+    out = []
+    for sub in subs:
+        placement = engine.solo_best(allocator, sub.circuit)
+        if placement is not None:
+            out.append((sub.circuit, placement.partition))
+    return out
+
+
+def allocations(device: Device,
+                traffic: Sequence[Tuple[QuantumCircuit, Tuple[int, ...]]]
+                ) -> List[ProgramAllocation]:
+    """Service-style compile requests: one per submission.
+
+    ``index`` is part of the placement-sensitive cache key (transpiler
+    hooks may observe it), so identical (program, partition) requests
+    share index 0 — the dedup a real admission queue performs.
+    """
+    return [ProgramAllocation(0, circuit, partition, 0.0)
+            for circuit, partition in traffic]
+
+
+def bench_cold(device: Device, traffic) -> float:
+    """Seed behaviour: fresh context per call, no result cache."""
+    start = time.perf_counter()
+    for circuit, partition in traffic:
+        transpile_for_partition(
+            circuit, device, partition,
+            context=DeviceContext(device.coupling, device.calibration))
+    return time.perf_counter() - start
+
+
+def bench_warm(device: Device, traffic) -> Tuple[float, ExecutionCache]:
+    """Shared DeviceContext + shared ExecutionCache, serial."""
+    svc = CompileService(mode="serial")
+    context = DeviceContext(device.coupling, device.calibration)
+
+    def hook(circuit, dev, alloc):
+        return transpile_for_partition(circuit, dev, alloc.partition,
+                                       context=context)
+
+    allocs = allocations(device, traffic)
+    start = time.perf_counter()
+    for alloc in allocs:
+        svc.transpile(alloc.circuit, device, alloc, hook)
+    return time.perf_counter() - start, svc.cache
+
+
+def bench_warm_context_only(device: Device, traffic) -> float:
+    """Shared DeviceContext, but no result cache (every call compiles)."""
+    context = DeviceContext(device.coupling, device.calibration)
+    start = time.perf_counter()
+    for circuit, partition in traffic:
+        transpile_for_partition(circuit, device, partition,
+                                context=context)
+    return time.perf_counter() - start
+
+
+def bench_service(device: Device, traffic, workers: int) -> float:
+    """Parallel batch compile through the persistent worker pool."""
+    context = DeviceContext(device.coupling, device.calibration)
+
+    def hook(circuit, dev, alloc):
+        return transpile_for_partition(circuit, dev, alloc.partition,
+                                       context=context)
+
+    allocs = allocations(device, traffic)
+    with CompileService(max_workers=workers, mode="thread") as svc:
+        start = time.perf_counter()
+        futures = [svc.submit(a.circuit, device, a, hook) for a in allocs]
+        for fut in futures:
+            fut.result()
+        return time.perf_counter() - start
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI configuration with the >=5x gate")
+    parser.add_argument("--programs", type=int, default=None,
+                        help="number of submissions (default 150; 60 "
+                             "with --smoke)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    num_programs = args.programs or (60 if args.smoke else 150)
+    device = ibm_toronto()
+    traffic = placed_traffic(device, num_programs, args.seed)
+    unique = len({(_circuit_key(c), p) for c, p in traffic})
+
+    # Untimed warm-up pass: the first timed path in a process otherwise
+    # wins from interpreter/allocator warm-up regardless of merit.
+    bench_cold(device, traffic)
+
+    cold_s = bench_cold(device, traffic)
+    warm_ctx_s = bench_warm_context_only(device, traffic)
+    warm_s, cache = bench_warm(device, traffic)
+    service_s = bench_service(device, traffic, args.workers)
+
+    n = len(traffic)
+    rows = [
+        ["cold (per-call rebuild)", n, f"{cold_s * 1e3:.1f}",
+         f"{cold_s / n * 1e3:.2f}", "1.00x"],
+        ["warm context only", n, f"{warm_ctx_s * 1e3:.1f}",
+         f"{warm_ctx_s / n * 1e3:.2f}", f"{cold_s / warm_ctx_s:.2f}x"],
+        ["warm (context + result cache)", n, f"{warm_s * 1e3:.1f}",
+         f"{warm_s / n * 1e3:.2f}", f"{cold_s / warm_s:.2f}x"],
+        [f"service ({args.workers} workers)", n, f"{service_s * 1e3:.1f}",
+         f"{service_s / n * 1e3:.2f}", f"{cold_s / service_s:.2f}x"],
+    ]
+    print_table(
+        f"Compile latency, {n} programs ({unique} unique placements), "
+        f"heavy-tail Poisson mix on {device.name}",
+        ["path", "programs", "total(ms)", "per-program(ms)", "vs cold"],
+        rows)
+    print(f"result cache on warm pass: {cache.transpile_hits} hits / "
+          f"{cache.transpile_misses} misses")
+
+    warm_speedup = cold_s / warm_s
+    payload = {
+        "bench": "bench_transpile",
+        "device": device.name,
+        "programs": n,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "workers": args.workers,
+        "cold_s": cold_s,
+        "warm_context_only_s": warm_ctx_s,
+        "warm_s": warm_s,
+        "service_s": service_s,
+        "warm_speedup": warm_speedup,
+        "warm_context_only_speedup": cold_s / warm_ctx_s,
+        "service_speedup": cold_s / service_s,
+        "floor": SPEEDUP_FLOOR,
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {ARTIFACT}")
+
+    print(f"\nwarm-context speedup over cold per-call transpile: "
+          f"{warm_speedup:.2f}x (floor {SPEEDUP_FLOOR:g}x)")
+    if warm_speedup < SPEEDUP_FLOOR:
+        print("FAIL: warm-context compilation did not reach the "
+              f"{SPEEDUP_FLOOR:g}x floor", file=sys.stderr)
+        return 1
+    print(f"OK: warm-context compilation beats cold per-call "
+          f"transpilation by >= {SPEEDUP_FLOOR:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

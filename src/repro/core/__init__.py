@@ -24,6 +24,7 @@ from .cna import (
     cna_compile,
     cna_transpile_for_partition,
 )
+from .compile_service import CompileService
 from .events import Event, EventKind, EventQueue
 from .executor import (
     BatchJob,
@@ -73,6 +74,7 @@ __all__ = [
     "CloudScheduler",
     "CnaAllocator",
     "CnaCompilation",
+    "CompileService",
     "DispatchedBatch",
     "Event",
     "EventKind",

@@ -210,6 +210,20 @@ class AllocationEngine:
                 "garbage-collected")
         return device
 
+    @property
+    def context(self) -> "DeviceContext":
+        """The shared compilation context of this engine's device.
+
+        Fetched from the fingerprint-keyed transpiler registry, so the
+        scheduler, the compile service, and direct ``transpile()`` calls
+        all draw on one set of distance tables and memoized partition
+        sub-contexts — and a mutated calibration transparently resolves
+        to a fresh context.
+        """
+        from ..transpiler.context import device_context
+        device = self.device
+        return device_context(device.coupling, device.calibration)
+
     # -- statistics (exposed for benchmarks/tests) ---------------------
     @property
     def cache_sizes(self) -> Dict[str, int]:

@@ -23,6 +23,7 @@ from ..hardware.calibration import Calibration
 from ..hardware.devices import Device
 from ..hardware.topology import CouplingMap, Edge
 from ..transpiler.basis import decompose_to_basis
+from ..transpiler.context import device_context
 from ..transpiler.layout import Layout
 from ..transpiler.mapping import noise_aware_layout
 from ..transpiler.optimize import optimize_circuit
@@ -136,10 +137,14 @@ def cna_compile(
         component_coupling = _free_coupling(
             device, allocated | blocked_extra)
 
+        # One shared context per (free chip, inflated calibration) view:
+        # mapping and routing draw on the same Dijkstra tables instead
+        # of each building their own.
+        ctx = device_context(component_coupling, calibration)
         layout = noise_aware_layout(basis, component_coupling,
-                                    calibration, seed=idx)
+                                    calibration, seed=idx, context=ctx)
         routed = route_circuit(basis, component_coupling, layout,
-                               calibration)
+                               calibration, context=ctx)
         optimized = optimize_circuit(routed.circuit, optimization_level)
         if schedule:
             optimized = schedule_alap(optimized,
@@ -244,6 +249,10 @@ def cna_transpile_for_partition(
         transpile,
     )
 
+    # Fresh (not memoized) induced snapshots: the inflation below
+    # mutates the calibration, which must never corrupt the shared
+    # partition sub-contexts.  The registry still dedupes the Dijkstra
+    # tables across calls with identical suspects/inflation.
     coupling = partition_coupling(device, partition)
     calibration = partition_calibration(device, partition)
     index_of = {p: i for i, p in enumerate(partition)}

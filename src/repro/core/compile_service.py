@@ -1,0 +1,189 @@
+"""Parallel transpile service over a persistent worker pool.
+
+The cloud service's compile cost is per-program transpilation; with the
+:mod:`~repro.transpiler.context` layer the device-invariant tables are
+shared, so what remains is embarrassingly parallel per-program work.
+:class:`CompileService` batches it across a persistent
+thread/process/serial worker set with three layers of reuse:
+
+- the shared :class:`~repro.core.executor.ExecutionCache` (full results,
+  keyed by circuit structure + placement + device + hook);
+- in-flight coalescing — concurrent requests for the same key await one
+  worker instead of compiling twice;
+- the fingerprint-keyed :func:`~repro.transpiler.context.device_context`
+  registry, warmed per process, so workers never rebuild distance
+  tables (thread workers share the parent's; each process-pool worker
+  warms its own on first use and keeps it for the pool's lifetime).
+
+It plugs into :func:`repro.core.executor.run_batch` (prefetch: all jobs'
+programs are submitted before the first job executes, overlapping
+compilation with execution) and :class:`repro.core.CloudScheduler`
+(each dispatched batch is submitted as it is admitted).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.devices import Device
+from ..transpiler.transpile import TranspileResult
+from .allocators import AllocationResult, ProgramAllocation
+from .executor import ExecutionCache, TranspilerFn, _default_transpiler
+
+__all__ = ["CompileService"]
+
+_MODES = ("thread", "process", "serial")
+
+
+class CompileService:
+    """Batch-transpiles programs across a persistent worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (``None`` = executor default).  Ignored for
+        ``mode="serial"``.
+    mode:
+        ``"thread"`` (default; shares every cache with the workers),
+        ``"process"`` (true parallelism; inputs/results are pickled and
+        each worker process warms its own context registry), or
+        ``"serial"`` (no pool — same API, inline execution).
+    cache:
+        The shared :class:`ExecutionCache`; a private one is created
+        when omitted.  Every submission publishes its result here, so
+        executors running against the same cache see compile hits.
+
+    Futures returned by :meth:`submit` resolve to *raw* (shared) results;
+    use :meth:`transpile` / :meth:`compile_allocation` to get the
+    defensively copied form callers may mutate.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 mode: str = "thread",
+                 cache: Optional[ExecutionCache] = None) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        self.mode = mode
+        self.cache = cache or ExecutionCache()
+        self._pool = None
+        if mode == "thread":
+            self._pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="compile-service")
+        elif mode == "process":
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, Future] = {}
+        #: Request accounting: ``submitted`` tasks actually handed to a
+        #: worker, ``coalesced`` requests that joined an in-flight task,
+        #: ``short_circuits`` requests answered straight from the cache.
+        self.stats: Dict[str, int] = {
+            "submitted": 0, "coalesced": 0, "short_circuits": 0}
+
+    # ------------------------------------------------------------------
+    def submit(self, circuit: QuantumCircuit, device: Device,
+               allocation: ProgramAllocation,
+               transpiler_fn: Optional[TranspilerFn] = None) -> Future:
+        """Schedule one transpile; dedups against cache and in-flight work.
+
+        The future resolves once the result is computed *and* published
+        to :attr:`cache`.  Its value is the raw cached result — shared,
+        do not mutate; resolve through :meth:`transpile` for a fresh
+        copy.
+        """
+        fn = transpiler_fn or _default_transpiler
+        key = self.cache.transpile_key(circuit, device, allocation, fn)
+        with self._lock:
+            found = self.cache.lookup_transpile_raw(key, device, fn)
+            if found is not None:
+                self.stats["short_circuits"] += 1
+                done: Future = Future()
+                done.set_result(found)
+                return done
+            if key is not None:
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    self.stats["coalesced"] += 1
+                    return inflight
+            out: Future = Future()
+            if key is not None:
+                self._inflight[key] = out
+            self.stats["submitted"] += 1
+
+        def publish(result: TranspileResult) -> None:
+            self.cache.store_transpile_raw(key, device, fn, result)
+            with self._lock:
+                self._inflight.pop(key, None)
+            out.set_result(result)
+
+        def fail(exc: BaseException) -> None:
+            with self._lock:
+                self._inflight.pop(key, None)
+            out.set_exception(exc)
+
+        if self._pool is None:
+            try:
+                publish(fn(circuit, device, allocation))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                fail(exc)
+            return out
+
+        raw = self._pool.submit(fn, circuit, device, allocation)
+
+        def on_done(f: Future) -> None:
+            exc = f.exception()
+            if exc is not None:
+                fail(exc)
+                return
+            try:
+                publish(f.result())
+            except BaseException as e:  # noqa: BLE001
+                # concurrent.futures swallows callback exceptions; an
+                # unresolved `out` would hang every waiter, so route
+                # publication failures into the future instead.
+                fail(e)
+
+        raw.add_done_callback(on_done)
+        return out
+
+    def transpile(self, circuit: QuantumCircuit, device: Device,
+                  allocation: ProgramAllocation,
+                  transpiler_fn: Optional[TranspilerFn] = None
+                  ) -> TranspileResult:
+        """Blocking single transpile through the service (fresh copy)."""
+        fut = self.submit(circuit, device, allocation, transpiler_fn)
+        return ExecutionCache._fresh(fut.result())
+
+    def submit_allocation(self, allocation_result: AllocationResult,
+                          transpiler_fn: Optional[TranspilerFn] = None
+                          ) -> List[Future]:
+        """Submit every program of one allocated job (program order)."""
+        ordered = sorted(allocation_result.allocations,
+                         key=lambda a: a.index)
+        return [
+            self.submit(a.circuit, allocation_result.device, a,
+                        transpiler_fn)
+            for a in ordered
+        ]
+
+    def compile_allocation(self, allocation_result: AllocationResult,
+                           transpiler_fn: Optional[TranspilerFn] = None
+                           ) -> List[TranspileResult]:
+        """Batch-transpile one allocated job; results in program order."""
+        futures = self.submit_allocation(allocation_result, transpiler_fn)
+        return [ExecutionCache._fresh(f.result()) for f in futures]
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (the cache stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

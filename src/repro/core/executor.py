@@ -16,8 +16,21 @@ Two entry points:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compile_service import CompileService
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
@@ -102,6 +115,10 @@ class ExecutionCache:
         self._transpile: Dict[Tuple, Tuple[Device, TranspilerFn,
                                            TranspileResult]] = {}
         self._ideal: Dict[Tuple, Dict[str, float]] = {}
+        # Guards the compound evict+insert in _store: CompileService
+        # worker callbacks publish concurrently, and two threads in the
+        # eviction path could otherwise pop the same head key.
+        self._store_lock = threading.Lock()
         self.max_entries = max_entries
         self.transpile_hits = 0
         self.transpile_misses = 0
@@ -114,17 +131,18 @@ class ExecutionCache:
         self._ideal.clear()
 
     def _store(self, table: Dict, key: Tuple, value) -> None:
-        if self.max_entries is not None:
-            if self.max_entries <= 0:
-                return  # max_entries=0 disables caching entirely
-            if len(table) >= self.max_entries:
-                table.pop(next(iter(table)))
-        table[key] = value
+        with self._store_lock:
+            if self.max_entries is not None:
+                if self.max_entries <= 0:
+                    return  # max_entries=0 disables caching entirely
+                while len(table) >= self.max_entries:
+                    table.pop(next(iter(table)))
+            table[key] = value
 
-    def transpile(self, circuit: QuantumCircuit, device: Device,
-                  allocation: ProgramAllocation,
-                  transpiler_fn: TranspilerFn) -> TranspileResult:
-        """Transpile through the cache (placement-sensitive key).
+    def transpile_key(self, circuit: QuantumCircuit, device: Device,
+                      allocation: ProgramAllocation,
+                      transpiler_fn: TranspilerFn) -> Optional[Tuple]:
+        """Cache key of one transpile request, or ``None`` (unhashable).
 
         The key covers every input the hook can observe: circuit
         structure, all :class:`ProgramAllocation` fields, the device, and
@@ -132,19 +150,69 @@ class ExecutionCache:
         """
         ckey = _circuit_key(circuit)
         if ckey is None:
-            self.transpile_misses += 1
-            return transpiler_fn(circuit, device, allocation)
-        key = (ckey, allocation.index, allocation.partition,
-               allocation.efs, allocation.crosstalk_pairs,
-               id(device), id(transpiler_fn))
-        cached = self._transpile.get(key)
+            return None
+        return (ckey, allocation.index, allocation.partition,
+                allocation.efs, allocation.crosstalk_pairs,
+                id(device), id(transpiler_fn))
+
+    def lookup_transpile_raw(self, key: Optional[Tuple], device: Device,
+                             transpiler_fn: TranspilerFn
+                             ) -> Optional[TranspileResult]:
+        """Cached *raw* (shared, do-not-mutate) result for a
+        precomputed key, or ``None``; counts hit/miss.
+
+        Key-based so the service's hot path computes the circuit
+        fingerprint once per request; apply :meth:`_fresh` before
+        handing the result to anything that may mutate it.
+        """
+        cached = None if key is None else self._transpile.get(key)
         if cached is not None and cached[0] is device \
                 and cached[1] is transpiler_fn:
             self.transpile_hits += 1
-            return self._fresh(cached[2])
+            return cached[2]
         self.transpile_misses += 1
+        return None
+
+    def store_transpile_raw(self, key: Optional[Tuple], device: Device,
+                            transpiler_fn: TranspilerFn,
+                            result: TranspileResult) -> None:
+        """Insert a computed result under a precomputed key (no-op for
+        ``None`` keys).  Used by
+        :class:`~repro.core.compile_service.CompileService` workers to
+        publish results back into the shared cache.
+        """
+        if key is not None:
+            self._store(self._transpile, key,
+                        (device, transpiler_fn, result))
+
+    def lookup_transpile(self, circuit: QuantumCircuit, device: Device,
+                         allocation: ProgramAllocation,
+                         transpiler_fn: TranspilerFn
+                         ) -> Optional[TranspileResult]:
+        """Cached result (fresh copy) or ``None``; counts hit/miss."""
+        key = self.transpile_key(circuit, device, allocation, transpiler_fn)
+        found = self.lookup_transpile_raw(key, device, transpiler_fn)
+        return None if found is None else self._fresh(found)
+
+    def store_transpile(self, circuit: QuantumCircuit, device: Device,
+                        allocation: ProgramAllocation,
+                        transpiler_fn: TranspilerFn,
+                        result: TranspileResult) -> None:
+        """Insert a computed result (no-op for unhashable circuits)."""
+        self.store_transpile_raw(
+            self.transpile_key(circuit, device, allocation, transpiler_fn),
+            device, transpiler_fn, result)
+
+    def transpile(self, circuit: QuantumCircuit, device: Device,
+                  allocation: ProgramAllocation,
+                  transpiler_fn: TranspilerFn) -> TranspileResult:
+        """Transpile through the cache (placement-sensitive key)."""
+        key = self.transpile_key(circuit, device, allocation, transpiler_fn)
+        found = self.lookup_transpile_raw(key, device, transpiler_fn)
+        if found is not None:
+            return self._fresh(found)
         result = transpiler_fn(circuit, device, allocation)
-        self._store(self._transpile, key, (device, transpiler_fn, result))
+        self.store_transpile_raw(key, device, transpiler_fn, result)
         return self._fresh(result)
 
     @staticmethod
@@ -182,6 +250,17 @@ class ExecutionCache:
         return dict(result)
 
 
+def _resolve_service_cache(cache, compile_service):
+    """One shared cache when a compile service participates."""
+    if compile_service is None:
+        return cache or ExecutionCache()
+    if cache is None or cache is compile_service.cache:
+        return compile_service.cache
+    raise ValueError(
+        "pass either a cache or a compile_service (which brings its "
+        "own); two different caches would split the memoization")
+
+
 def execute_allocation(
     allocation_result: AllocationResult,
     shots: int = 8192,
@@ -190,28 +269,47 @@ def execute_allocation(
     transpiler_fn: Optional[TranspilerFn] = None,
     include_crosstalk: bool = True,
     cache: Optional[ExecutionCache] = None,
+    compile_service: "Optional[CompileService]" = None,
 ) -> List[ExecutionOutcome]:
     """Run every allocated program simultaneously; outcomes in input order.
 
     Each logical circuit must contain measurements (the metrics compare
     measured distributions).  Pass a shared :class:`ExecutionCache` to
     amortize transpilation and ideal-distribution work across calls (or
-    use :func:`run_batch`, which does so automatically).
+    use :func:`run_batch`, which does so automatically).  With a
+    *compile_service*, the job's programs are submitted to its worker
+    pool up front and compiled in parallel.
     """
     transpiler_fn = transpiler_fn or _default_transpiler
-    cache = cache or ExecutionCache()
+    cache = _resolve_service_cache(cache, compile_service)
     device = allocation_result.device
     ordered = sorted(allocation_result.allocations, key=lambda a: a.index)
-    transpiled: List[TranspileResult] = []
-    programs: List[Program] = []
     for alloc in ordered:
         if not any(i.name == "measure" for i in alloc.circuit):
             raise ValueError(
                 f"program {alloc.index} has no measurements; metrics need "
                 "measured outputs")
-        tr = cache.transpile(alloc.circuit, device, alloc, transpiler_fn)
-        transpiled.append(tr)
-        programs.append(Program(tr.circuit, alloc.partition))
+    transpiled: List[TranspileResult] = []
+    programs: List[Program] = []
+    if compile_service is not None:
+        futures = [
+            compile_service.submit(alloc.circuit, device, alloc,
+                                   transpiler_fn)
+            for alloc in ordered
+        ]
+        # Consume the futures' raw results directly (freshened against
+        # aliasing): for hashable circuits they are already published to
+        # the shared cache, and unhashable ones must not compile twice.
+        for alloc, fut in zip(ordered, futures):
+            tr = ExecutionCache._fresh(fut.result())
+            transpiled.append(tr)
+            programs.append(Program(tr.circuit, alloc.partition))
+    else:
+        for alloc in ordered:
+            tr = cache.transpile(alloc.circuit, device, alloc,
+                                 transpiler_fn)
+            transpiled.append(tr)
+            programs.append(Program(tr.circuit, alloc.partition))
     results = run_parallel(programs, device, shots=shots, seed=seed,
                            scheduling=scheduling,
                            include_crosstalk=include_crosstalk)
@@ -242,6 +340,7 @@ def run_batch(
     jobs: Sequence[Union[BatchJob, AllocationResult]],
     seed: SeedLike = None,
     cache: Optional[ExecutionCache] = None,
+    compile_service: "Optional[CompileService]" = None,
 ) -> List[List[ExecutionOutcome]]:
     """Execute a sweep of parallel jobs with shared caching.
 
@@ -252,11 +351,29 @@ def run_batch(
     once — and jobs without an explicit seed get independent child RNG
     streams spawned from *seed*.  Returns one outcome list per job, in
     input order.
+
+    With a *compile_service*, every job's programs are prefetched onto
+    its worker pool before the first job executes: job *i*'s simulation
+    overlaps the compilation of jobs *i+1...*, and each job only waits
+    on its own transpiles.
     """
     normalized: List[BatchJob] = [
         job if isinstance(job, BatchJob) else BatchJob(job) for job in jobs
     ]
-    cache = cache or ExecutionCache()
+    cache = _resolve_service_cache(cache, compile_service)
+    if compile_service is not None:
+        for job in normalized:
+            fn = job.transpiler_fn or _default_transpiler
+            device = job.allocation.device
+            for alloc in job.allocation.allocations:
+                # Unhashable circuits cannot be deduped against the
+                # prefetch (no cache key, no in-flight coalescing), so
+                # submitting them here would double-compile when
+                # execute_allocation submits its own request.
+                if cache.transpile_key(alloc.circuit, device, alloc,
+                                       fn) is not None:
+                    compile_service.submit(alloc.circuit, device, alloc,
+                                           fn)
     batch_seeds = spawn_seeds(seed, len(normalized))
     outcomes: List[List[ExecutionOutcome]] = []
     for job, child in zip(normalized, batch_seeds):
@@ -270,5 +387,6 @@ def run_batch(
                 transpiler_fn=job.transpiler_fn,
                 include_crosstalk=job.include_crosstalk,
                 cache=cache,
+                compile_service=compile_service,
             ))
     return outcomes

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compile_service import CompileService
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
@@ -158,6 +161,13 @@ class CloudScheduler:
         combining it with an explicit *allocator* is an error (pass the
         parameter to the allocator instead, e.g.
         ``get_allocator("qucp", sigma=...)``).
+    compile_service:
+        Optional :class:`~repro.core.compile_service.CompileService`.
+        When set, each dispatched batch's programs are submitted to the
+        service's worker pool *at dispatch time*, so compilation
+        overlaps the rest of the scheduling run; :meth:`schedule`
+        returns only after every submitted transpile has landed in the
+        service's cache, ready for cache-hit execution.
     """
 
     def __init__(
@@ -169,6 +179,7 @@ class CloudScheduler:
         job_overhead_ns: float = 1e6,
         sigma: Optional[float] = None,
         max_batch_size: Optional[int] = None,
+        compile_service: "Optional[CompileService]" = None,
     ) -> None:
         if fidelity_threshold < 0:
             raise ValueError("fidelity threshold must be non-negative")
@@ -185,6 +196,7 @@ class CloudScheduler:
         self.batch_window_ns = batch_window_ns
         self.job_overhead_ns = job_overhead_ns
         self.max_batch_size = max_batch_size
+        self.compile_service = compile_service
 
     # ------------------------------------------------------------------
     def _engine(self, device_index: int) -> AllocationEngine:
@@ -244,6 +256,7 @@ class CloudScheduler:
         rejected: List[int] = []
         jobs: List[DispatchedBatch] = []
         throughputs: List[float] = []
+        compile_futures: List = []
 
         for i, sub in enumerate(submissions):
             events.push(sub.arrival_ns, EventKind.ARRIVAL, i)
@@ -348,6 +361,12 @@ class CloudScheduler:
                 throughputs.append(batch.throughput())
                 jobs.append(DispatchedBatch(
                     chosen, device.name, start, end, batch))
+                if self.compile_service is not None:
+                    # Compilation starts the moment the batch is packed
+                    # and proceeds on the worker pool while this event
+                    # loop keeps scheduling.
+                    compile_futures.extend(
+                        self.compile_service.submit_allocation(batch))
                 events.push(end, EventKind.COMPLETION, chosen)
 
         for event in events.drain():
@@ -363,6 +382,9 @@ class CloudScheduler:
                 dispatch(event.time_ns)
 
         assert not pending, "event queue drained with programs pending"
+
+        for fut in compile_futures:
+            fut.result()  # surface compile errors; results are cached
 
         turnarounds = [
             completion[i] - submissions[i].arrival_ns for i in completion]

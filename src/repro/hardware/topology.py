@@ -8,7 +8,16 @@ which is where simultaneous CNOTs interfere on IBM hardware.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -36,7 +45,16 @@ class CouplingMap:
             if a == b:
                 raise ValueError(f"self-loop edge {edge}")
             self.graph.add_edge(a, b)
-        self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+        # All-pairs tables are lazy: many callers (partition growth, the
+        # routers' adjacency checks, induced-subgraph construction) never
+        # query distances, and paying O(V^2) BFS in __init__ made every
+        # induced CouplingMap expensive.  The graph is frozen after
+        # construction (no mutation API), so computing once on first use
+        # is safe.
+        self._dist_cache: Optional[Dict[int, Dict[int, int]]] = None
+        self._one_hop_cache: Optional[Dict[Edge, Tuple[Edge, ...]]] = None
+        self._one_hop_pairs_cache: Optional[
+            Tuple[Tuple[Edge, Edge], ...]] = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -57,6 +75,14 @@ class CouplingMap:
     def is_edge(self, a: int, b: int) -> bool:
         """True when qubits *a* and *b* are directly coupled."""
         return self.graph.has_edge(a, b)
+
+    @property
+    def _dist(self) -> Dict[int, Dict[int, int]]:
+        """All-pairs hop distances, computed on first use."""
+        if self._dist_cache is None:
+            self._dist_cache = dict(
+                nx.all_pairs_shortest_path_length(self.graph))
+        return self._dist_cache
 
     def distance(self, a: int, b: int) -> int:
         """Shortest-path distance between two qubits (inf -> large)."""
@@ -85,24 +111,49 @@ class CouplingMap:
             return 0
         return min(self.distance(a, b) for a in e1 for b in e2)
 
+    def _one_hop_tables(self) -> Tuple[Dict[Edge, Tuple[Edge, ...]],
+                                       Tuple[Tuple[Edge, Edge], ...]]:
+        """One O(E^2) pass feeding both one-hop queries, cached.
+
+        Partners accumulate per edge in increasing edge-index order, so
+        the derived :meth:`one_hop_pairs` tuples match the historical
+        sorted-edge scan exactly.
+        """
+        if self._one_hop_cache is None:
+            edges = self.edges
+            per_edge: Dict[Edge, List[Edge]] = {e: [] for e in edges}
+            pairs: List[Tuple[Edge, Edge]] = []
+            for i, e1 in enumerate(edges):
+                for e2 in edges[i + 1:]:
+                    if self.pair_distance(e1, e2) == 1:
+                        pairs.append((e1, e2))
+                        per_edge[e1].append(e2)
+                        per_edge[e2].append(e1)
+            self._one_hop_cache = {
+                e: tuple(partners) for e, partners in per_edge.items()}
+            self._one_hop_pairs_cache = tuple(pairs)
+        assert self._one_hop_pairs_cache is not None
+        return self._one_hop_cache, self._one_hop_pairs_cache
+
     def one_hop_pairs(self, edge: Edge) -> Tuple[Edge, ...]:
-        """All links at pair-distance exactly 1 from *edge*."""
+        """All links at pair-distance exactly 1 from *edge* (cached)."""
         edge = _norm(edge)
-        out = [
-            other for other in self.edges
-            if other != edge and self.pair_distance(edge, other) == 1
-        ]
-        return tuple(out)
+        per_edge, _ = self._one_hop_tables()
+        found = per_edge.get(edge)
+        if found is None:
+            # Historical behaviour: the query edge need not be a device
+            # link — fall back to the direct scan for those.
+            found = tuple(
+                other for other in self.edges
+                if other != edge and self.pair_distance(edge, other) == 1
+            )
+        return found
 
     def all_one_hop_edge_pairs(self) -> Tuple[Tuple[Edge, Edge], ...]:
-        """Every unordered pair of links at pair-distance exactly 1."""
-        edges = self.edges
-        out: List[Tuple[Edge, Edge]] = []
-        for i, e1 in enumerate(edges):
-            for e2 in edges[i + 1:]:
-                if self.pair_distance(e1, e2) == 1:
-                    out.append((e1, e2))
-        return tuple(out)
+        """Every unordered pair of links at pair-distance exactly 1
+        (cached after the first call)."""
+        _, pairs = self._one_hop_tables()
+        return pairs
 
     # ------------------------------------------------------------------
     # subgraph / partition helpers

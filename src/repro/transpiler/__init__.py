@@ -3,6 +3,13 @@ reliability-weighted routing, gate optimization, ALAP scheduling."""
 
 from .dd import insert_dd_sequences
 from .basis import decompose_oneq_gate, decompose_to_basis, zyz_angles
+from .context import (
+    DeviceContext,
+    context_cache_stats,
+    device_context,
+    edge_reliability_weight,
+    reset_context_cache,
+)
 from .layout import Layout
 from .mapping import interaction_counts, layout_cost, noise_aware_layout
 from .optimize import cancel_adjacent_pairs, fuse_oneq_runs, optimize_circuit
@@ -18,13 +25,17 @@ from .transpile import (
 )
 
 __all__ = [
+    "DeviceContext",
     "Layout",
     "RoutedCircuit",
     "TranspileResult",
     "cancel_adjacent_pairs",
     "circuit_duration",
+    "context_cache_stats",
     "decompose_oneq_gate",
     "decompose_to_basis",
+    "device_context",
+    "edge_reliability_weight",
     "fuse_oneq_runs",
     "insert_dd_sequences",
     "interaction_counts",
@@ -33,6 +44,7 @@ __all__ = [
     "optimize_circuit",
     "partition_calibration",
     "partition_coupling",
+    "reset_context_cache",
     "route_circuit",
     "sabre_route",
     "schedule_alap",

@@ -18,6 +18,7 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.calibration import Calibration
 from ..hardware.topology import CouplingMap
+from .context import DeviceContext, device_context
 from .layout import Layout
 
 __all__ = ["interaction_counts", "layout_cost", "noise_aware_layout"]
@@ -35,34 +36,6 @@ def interaction_counts(circuit: QuantumCircuit) -> Dict[Tuple[int, int], int]:
         a, b = sorted(inst.qubits)
         counts[(a, b)] = counts.get((a, b), 0) + 1
     return counts
-
-
-def _edge_weight(coupling: CouplingMap,
-                 calibration: Optional[Calibration],
-                 a: int, b: int) -> float:
-    """Reliability cost of using the link (a, b): -log(1 - cx_error)."""
-    if calibration is None:
-        return 1.0
-    err = min(calibration.cx_error(a, b), 0.999)
-    return -math.log(1.0 - err) + 0.01  # small constant favours few hops
-
-
-def _reliability_distance(coupling: CouplingMap,
-                          calibration: Optional[Calibration]
-                          ) -> Dict[int, Dict[int, float]]:
-    """All-pairs shortest error-weighted path lengths."""
-    import networkx as nx
-
-    weighted = nx.Graph()
-    weighted.add_nodes_from(range(coupling.num_qubits))
-    for a, b in coupling.edges:
-        weighted.add_edge(a, b,
-                          weight=_edge_weight(coupling, calibration, a, b))
-    return {
-        src: dists
-        for src, dists in nx.all_pairs_dijkstra_path_length(
-            weighted, weight="weight")
-    }
 
 
 def layout_cost(
@@ -89,12 +62,14 @@ def noise_aware_layout(
     coupling: CouplingMap,
     calibration: Optional[Calibration] = None,
     seed: int = 0,
+    context: Optional[DeviceContext] = None,
 ) -> Layout:
     """Pick an initial layout minimizing :func:`layout_cost`.
 
     Exhaustive over physical-qubit permutations when the device is small
     (partition transpilation), greedy interaction-first placement
-    otherwise.
+    otherwise.  *context* supplies the cached reliability-distance table;
+    when omitted it is fetched from the shared context registry.
     """
     n_logical = circuit.num_qubits
     n_physical = coupling.num_qubits
@@ -104,7 +79,9 @@ def noise_aware_layout(
     interactions = interaction_counts(circuit)
     measured = sorted({
         inst.qubits[0] for inst in circuit if inst.name == "measure"})
-    rel_dist = _reliability_distance(coupling, calibration)
+    if context is None:
+        context = device_context(coupling, calibration)
+    rel_dist = context.reliability_distance
 
     if n_physical <= _EXHAUSTIVE_LIMIT:
         best_layout: Optional[Layout] = None

@@ -11,7 +11,6 @@ are remapped through the live layout at the point they occur.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -21,6 +20,7 @@ from ..circuits.circuit import Instruction, QuantumCircuit
 from ..circuits.gates import Gate, gate
 from ..hardware.calibration import Calibration
 from ..hardware.topology import CouplingMap
+from .context import DeviceContext, device_context
 from .layout import Layout
 
 __all__ = ["RoutedCircuit", "route_circuit"]
@@ -36,28 +36,21 @@ class RoutedCircuit:
     num_swaps: int
 
 
-def _reliability_graph(coupling: CouplingMap,
-                       calibration: Optional[Calibration]) -> nx.Graph:
-    g = nx.Graph()
-    g.add_nodes_from(range(coupling.num_qubits))
-    for a, b in coupling.edges:
-        if calibration is None:
-            weight = 1.0
-        else:
-            err = min(calibration.cx_error(a, b), 0.999)
-            weight = -math.log(1.0 - err) + 0.01
-        g.add_edge(a, b, weight=weight)
-    return g
-
-
 def route_circuit(
     circuit: QuantumCircuit,
     coupling: CouplingMap,
     initial_layout: Layout,
     calibration: Optional[Calibration] = None,
+    context: Optional[DeviceContext] = None,
 ) -> RoutedCircuit:
-    """Make *circuit* executable on *coupling* starting from a layout."""
-    rel = _reliability_graph(coupling, calibration)
+    """Make *circuit* executable on *coupling* starting from a layout.
+
+    *context* supplies the cached reliability graph; when omitted it is
+    fetched from the shared context registry.
+    """
+    if context is None:
+        context = device_context(coupling, calibration)
+    rel = context.reliability_graph
     layout = initial_layout.copy()
     out = QuantumCircuit(coupling.num_qubits, circuit.num_clbits,
                          circuit.name)

@@ -8,18 +8,27 @@ scores it against both the front layer and a lookahead window of upcoming
 
 This implementation keeps SABRE's decay-weighted two-window cost and adds
 the calibration-aware edge weights used elsewhere in this transpiler.
+Swap-candidate scoring is table-driven, exactly as the algorithm was
+designed: distances come from the :class:`~.context.DeviceContext`'s
+cached all-pairs matrix and all candidates are scored as numpy array
+operations in one shot.  Per-pair accumulation runs column-wise so the
+float additions happen in the same order as the historical scalar loop —
+the routed circuits are bit-identical to it (``score_mode="reference"``
+keeps the scalar loop alive for the equivalence suite).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..hardware.calibration import Calibration
 from ..hardware.topology import CouplingMap
+from .context import DeviceContext, device_context
 from .layout import Layout
-from .routing import RoutedCircuit, _reliability_graph
+from .routing import RoutedCircuit
 
 __all__ = ["sabre_route"]
 
@@ -32,16 +41,82 @@ _DECAY_STEP = 0.001
 _DECAY_RESET_INTERVAL = 5
 
 
-def _distance_table(coupling: CouplingMap,
-                    calibration: Optional[Calibration]
-                    ) -> Dict[int, Dict[int, float]]:
-    import networkx as nx
+def _select_swap_vectorized(
+    candidates: Sequence[Tuple[int, int]],
+    dist_matrix: np.ndarray,
+    layout: Layout,
+    front: Sequence[Tuple[int, int]],
+    future: Sequence[Tuple[int, int]],
+    decay: Dict[int, float],
+) -> Tuple[int, int]:
+    """Best swap candidate, scored as array ops over the distance matrix.
 
-    graph = _reliability_graph(coupling, calibration)
-    return {
-        src: dists for src, dists in
-        nx.all_pairs_dijkstra_path_length(graph, weight="weight")
-    }
+    Column-wise accumulation keeps every floating-point addition in the
+    scalar loop's order, so ties and minima resolve identically; argmin
+    returns the first minimum in candidate-iteration order, matching
+    ``min()`` over the same sequence.
+    """
+    p1s = np.fromiter((c[0] for c in candidates), dtype=np.intp)[:, None]
+    p2s = np.fromiter((c[1] for c in candidates), dtype=np.intp)[:, None]
+
+    def swapped_positions(pairs: Sequence[Tuple[int, int]]
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        pa = np.fromiter((layout.physical(a) for a, _ in pairs),
+                         dtype=np.intp)[None, :]
+        pb = np.fromiter((layout.physical(b) for _, b in pairs),
+                         dtype=np.intp)[None, :]
+        swap = lambda pos: np.where(  # noqa: E731
+            pos == p1s, p2s, np.where(pos == p2s, p1s, pos))
+        return swap(pa), swap(pb)
+
+    def window_cost(pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        pa, pb = swapped_positions(pairs)
+        vals = dist_matrix[pa, pb]
+        total = np.zeros(len(candidates), dtype=np.float64)
+        for j in range(vals.shape[1]):  # scalar-loop addition order
+            total = total + vals[:, j]
+        return total / max(len(pairs), 1)
+
+    score = window_cost(front)
+    if future:
+        score = score + _LOOKAHEAD_WEIGHT * window_cost(future)
+    factors = np.fromiter(
+        (1.0 + decay.get(int(p1), 0.0) + decay.get(int(p2), 0.0)
+         for p1, p2 in candidates),
+        dtype=np.float64)
+    score = score * factors
+    best = candidates[int(np.argmin(score))]
+    return int(best[0]), int(best[1])
+
+
+def _select_swap_reference(
+    candidates: Sequence[Tuple[int, int]],
+    dist: Dict[int, Dict[int, float]],
+    layout: Layout,
+    front: Sequence[Tuple[int, int]],
+    future: Sequence[Tuple[int, int]],
+    decay: Dict[int, float],
+) -> Tuple[int, int]:
+    """The seed scalar scoring loop, kept for the equivalence suite."""
+
+    def swap_score(p1: int, p2: int) -> float:
+        trial = layout.copy()
+        trial.swap_physical(p1, p2)
+
+        def cost(pairs: Sequence[Tuple[int, int]]) -> float:
+            total = 0.0
+            for a, b in pairs:
+                pa, pb = trial.physical(a), trial.physical(b)
+                total += dist[pa].get(pb, 1e9)
+            return total / max(len(pairs), 1)
+
+        score = cost(front)
+        if future:
+            score += _LOOKAHEAD_WEIGHT * cost(future)
+        score *= (1.0 + decay.get(p1, 0.0) + decay.get(p2, 0.0))
+        return score
+
+    return min(candidates, key=lambda e: swap_score(e[0], e[1]))
 
 
 def sabre_route(
@@ -49,13 +124,23 @@ def sabre_route(
     coupling: CouplingMap,
     initial_layout: Layout,
     calibration: Optional[Calibration] = None,
+    context: Optional[DeviceContext] = None,
+    score_mode: str = "vectorized",
 ) -> RoutedCircuit:
     """Route *circuit* with lookahead SWAP selection.
 
     Semantics identical to :func:`repro.transpiler.routing.route_circuit`
     (physical-index output, measures remapped through the live layout).
+    *context* supplies the cached distance tables; *score_mode* selects
+    the numpy candidate scoring (default) or the scalar ``"reference"``
+    loop — both produce bit-identical circuits.
     """
-    dist = _distance_table(coupling, calibration)
+    if score_mode not in ("vectorized", "reference"):
+        raise ValueError(f"unknown score_mode {score_mode!r}")
+    if context is None:
+        context = device_context(coupling, calibration)
+    dist = context.reliability_distance
+    dist_matrix = context.reliability_matrix
     layout = initial_layout.copy()
     out = QuantumCircuit(coupling.num_qubits, circuit.num_clbits,
                          circuit.name)
@@ -100,24 +185,6 @@ def sabre_route(
                     break
         return window
 
-    def swap_score(p1: int, p2: int, front: Sequence[Tuple[int, int]],
-                   future: Sequence[Tuple[int, int]]) -> float:
-        trial = layout.copy()
-        trial.swap_physical(p1, p2)
-
-        def cost(pairs: Sequence[Tuple[int, int]]) -> float:
-            total = 0.0
-            for a, b in pairs:
-                pa, pb = trial.physical(a), trial.physical(b)
-                total += dist[pa].get(pb, 1e9)
-            return total / max(len(pairs), 1)
-
-        score = cost(front)
-        if future:
-            score += _LOOKAHEAD_WEIGHT * cost(future)
-        score *= (1.0 + decay.get(p1, 0.0) + decay.get(p2, 0.0))
-        return score
-
     while position < len(instructions):
         inst = instructions[position]
         if emit_simple(inst):
@@ -136,11 +203,16 @@ def sabre_route(
         for phys in (pa, pb):
             for nb in coupling.neighbors(phys):
                 candidates.add((min(phys, nb), max(phys, nb)))
-        best = min(
-            candidates,
-            key=lambda e: swap_score(e[0], e[1], front, future),
-        )
-        p1, p2 = best
+        # list() preserves the set's iteration order, so the first
+        # minimum lands on the same candidate the historical
+        # min()-over-set selection picked.
+        cand_list = list(candidates)
+        if score_mode == "vectorized":
+            p1, p2 = _select_swap_vectorized(
+                cand_list, dist_matrix, layout, front, future, decay)
+        else:
+            p1, p2 = _select_swap_reference(
+                cand_list, dist, layout, front, future, decay)
         out.cx(p1, p2)
         out.cx(p2, p1)
         out.cx(p1, p2)

@@ -19,6 +19,12 @@ from ..hardware.calibration import Calibration
 from ..hardware.devices import Device
 from ..hardware.topology import CouplingMap
 from .basis import decompose_to_basis
+from .context import (
+    DeviceContext,
+    device_context,
+    induced_calibration,
+    induced_coupling,
+)
 from .layout import Layout
 from .mapping import noise_aware_layout
 from .optimize import optimize_circuit
@@ -51,26 +57,32 @@ def transpile(
     schedule: bool = False,
     seed: int = 0,
     router: str = "basic",
+    context: Optional[DeviceContext] = None,
 ) -> TranspileResult:
     """Compile *circuit* for a device described by *coupling*.
 
     *router* selects the SWAP-insertion strategy: ``"basic"`` (shortest
-    reliability path) or ``"sabre"`` (lookahead scoring).
+    reliability path) or ``"sabre"`` (lookahead scoring).  *context* is
+    the cached compilation context for ``(coupling, calibration)``;
+    when omitted the shared registry supplies it, so repeated calls on
+    one device never rebuild the distance tables.
     """
     if not 0 <= optimization_level <= 3:
         raise ValueError("optimization_level must be 0..3")
+    if context is None:
+        context = device_context(coupling, calibration)
     basis = decompose_to_basis(circuit)
     if initial_layout is None:
         initial_layout = noise_aware_layout(basis, coupling, calibration,
-                                            seed=seed)
+                                            seed=seed, context=context)
     if router == "basic":
         routed = route_circuit(basis, coupling, initial_layout,
-                               calibration)
+                               calibration, context=context)
     elif router == "sabre":
         from .sabre import sabre_route
 
         routed = sabre_route(basis, coupling, initial_layout,
-                             calibration)
+                             calibration, context=context)
     else:
         raise ValueError(f"unknown router {router!r}")
     optimized = optimize_circuit(routed.circuit, optimization_level)
@@ -89,30 +101,22 @@ def partition_coupling(device: Device,
     """Induced coupling map of a partition, using local indices.
 
     Local index ``i`` corresponds to physical qubit ``partition[i]``.
+    Returns a fresh object; the memoized equivalent lives on
+    :meth:`DeviceContext.partition_context`.
     """
-    index_of = {p: i for i, p in enumerate(partition)}
-    local_edges = [
-        (index_of[a], index_of[b])
-        for a, b in device.coupling.subgraph_edges(partition)
-    ]
-    return CouplingMap(len(partition), local_edges)
+    return induced_coupling(device.coupling, partition)
 
 
 def partition_calibration(device: Device,
                           partition: Sequence[int]) -> Calibration:
-    """Calibration snapshot restricted to a partition (local indices)."""
-    index_of = {p: i for i, p in enumerate(partition)}
-    cal = Calibration(gate_duration=dict(
-        device.calibration.gate_duration))
-    for p, i in index_of.items():
-        cal.oneq_error[i] = device.calibration.oneq_error[p]
-        cal.readout_error[i] = device.calibration.readout_error[p]
-        cal.t1[i] = device.calibration.t1[p]
-        cal.t2[i] = device.calibration.t2[p]
-        cal.detuning[i] = device.calibration.detuning.get(p, 0.0)
-    for (a, b) in device.coupling.subgraph_edges(partition):
-        la, lb = sorted((index_of[a], index_of[b]))
-        cal.twoq_error[(la, lb)] = device.calibration.cx_error(a, b)
+    """Calibration snapshot restricted to a partition (local indices).
+
+    Returns a fresh, caller-mutable copy; the memoized equivalent lives
+    on :meth:`DeviceContext.partition_context`.
+    """
+    cal = induced_calibration(device.coupling, device.calibration,
+                              partition)
+    assert cal is not None
     return cal
 
 
@@ -123,14 +127,22 @@ def transpile_for_partition(
     optimization_level: int = 3,
     schedule: bool = True,
     seed: int = 0,
+    context: Optional[DeviceContext] = None,
 ) -> TranspileResult:
     """Compile *circuit* onto a specific partition of *device*.
 
     The output circuit uses partition-local indices and is ready to wrap
     in :class:`repro.sim.executor.Program` with this partition.
+
+    *context* is the **device-level** compilation context (fetched from
+    the shared registry when omitted); the partition-induced coupling,
+    calibration, and distance tables come from its memoized
+    :meth:`~DeviceContext.partition_context`, so a repeated partition
+    costs a dictionary hit instead of a rebuild.
     """
-    coupling = partition_coupling(device, partition)
-    calibration = partition_calibration(device, partition)
-    return transpile(circuit, coupling, calibration,
+    if context is None:
+        context = device_context(device.coupling, device.calibration)
+    sub = context.partition_context(tuple(int(q) for q in partition))
+    return transpile(circuit, sub.coupling, sub.calibration,
                      optimization_level=optimization_level,
-                     schedule=schedule, seed=seed)
+                     schedule=schedule, seed=seed, context=sub)
