@@ -16,6 +16,14 @@ small repeated programs dominate, exactly the cloud profile):
 - **service** — :class:`~repro.core.CompileService` batch submission
   over its persistent worker pool, same shared caches.
 
+Two cold-path sections ride along: a process-pool shard of unique
+programs on a wide (65q) device — chunked tasks, fingerprint-rehydrated
+contexts — against the same compile run serially, and a scheduler-dedup
+check driving :class:`~repro.core.CloudScheduler` with repeated
+programs at distinct queue indices through a compile service, gating on
+**zero re-transpiles** (the structural cache key dedups across
+submissions).
+
 The acceptance gate (also run in CI via ``--smoke``): warm-context
 service compilation must beat cold per-call transpilation by >= 5x on
 the repeated-program mix.  Timings land in ``BENCH_transpile.json`` so
@@ -33,13 +41,14 @@ import sys
 import time
 from typing import Dict, List, Sequence, Tuple
 
-from conftest import print_table
+from conftest import connected_subset, print_table
 
-from repro.circuits import QuantumCircuit
-from repro.core import CompileService, ExecutionCache, ProgramAllocation, \
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import AllocationResult, CloudScheduler, CompileService, \
+    ExecutionCache, ProgramAllocation, SubmittedProgram, \
     allocation_engine, get_allocator
 from repro.core.executor import _circuit_key
-from repro.hardware import Device, ibm_toronto
+from repro.hardware import Device, ibm_manhattan, ibm_toronto
 from repro.transpiler import DeviceContext, transpile_for_partition
 from repro.workloads import synthesize_traffic
 
@@ -71,12 +80,13 @@ def allocations(device: Device,
                 ) -> List[ProgramAllocation]:
     """Service-style compile requests: one per submission.
 
-    ``index`` is part of the placement-sensitive cache key (transpiler
-    hooks may observe it), so identical (program, partition) requests
-    share index 0 — the dedup a real admission queue performs.
+    Requests carry their real queue indices: the structural cache key
+    ignores ``index`` for index-insensitive hooks, so identical
+    (program, partition) requests dedup without the old index-0
+    normalization workaround.
     """
-    return [ProgramAllocation(0, circuit, partition, 0.0)
-            for circuit, partition in traffic]
+    return [ProgramAllocation(i, circuit, partition, 0.0)
+            for i, (circuit, partition) in enumerate(traffic)]
 
 
 def bench_cold(device: Device, traffic) -> float:
@@ -132,6 +142,130 @@ def bench_service(device: Device, traffic, workers: int) -> float:
         return time.perf_counter() - start
 
 
+def unique_cold_job(device: Device, num_programs: int, seed: int
+                    ) -> AllocationResult:
+    """*Unique* heavy programs on BFS-grown partitions: a pure cold-miss
+    batch (no result-cache dedup possible), the process-pool's target
+    load — per-program compile time must dominate chunk pickling."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    job = AllocationResult(method="bench-cold", device=device)
+    for i in range(num_programs):
+        size = int(rng.integers(5, 8))
+        circuit = random_circuit(size - 1,
+                                 int(rng.integers(25, 40)),
+                                 seed=seed * 7919 + i)
+        circuit.measure_all()
+        start = int(rng.integers(device.num_qubits))
+        partition = connected_subset(device.coupling, start, size)
+        job.allocations.append(ProgramAllocation(
+            i, circuit, partition, 0.0))
+    return job
+
+
+def bench_cold_process(device: Device, num_programs: int, workers: int,
+                       seed: int) -> Tuple[float, float, int]:
+    """Serial vs chunk-sharded process-pool compile of unique programs.
+
+    Returns ``(serial_s, process_s, chunks)`` for the timed run only.
+    Both paths start from an empty result cache; the process pool is
+    warmed (fork + per-worker context tables) before timing, matching
+    its persistent-service usage.  On single-core runners this measures
+    the sharding overhead (expect ~1x), not a parallel win.
+    """
+    job = unique_cold_job(device, num_programs, seed)
+    with CompileService(mode="serial") as ser:
+        start = time.perf_counter()
+        ser.compile_allocation(job)
+        serial_s = time.perf_counter() - start
+    with CompileService(max_workers=workers, mode="process") as svc:
+        warm = unique_cold_job(device, workers, seed + 1)
+        svc.compile_allocation(warm)  # spin up workers, warm contexts
+        chunks_before = svc.stats["chunks"]
+        start = time.perf_counter()
+        svc.compile_allocation(job)
+        process_s = time.perf_counter() - start
+        chunks = svc.stats["chunks"] - chunks_before
+    return serial_s, process_s, chunks
+
+
+def request_payload_bytes(device: Device, num_programs: int,
+                          workers: int, seed: int) -> Tuple[int, int]:
+    """Pickled request bytes shipped to workers: per-task vs chunked.
+
+    CPU-noise-free view of what fingerprint sharding removes — the
+    per-task path pickles the full device (with its warmed distance
+    caches) for every program; a chunk ships one plain-data fingerprint
+    per shard.
+    """
+    import pickle
+
+    from repro.core.compile_service import _device_fingerprint_spec
+
+    job = unique_cold_job(device, num_programs, seed)
+    # Warm the lazy coupling caches the way a long-running service has
+    # them (they ride along in the Device pickle).
+    device.coupling.distance(0, 1)
+    device.coupling.all_one_hop_edge_pairs()
+    per_task = sum(
+        len(pickle.dumps((a.circuit, device, a)))
+        for a in job.allocations)
+    spec = _device_fingerprint_spec(device)
+    shards = [job.allocations[i::workers] for i in range(workers)]
+    chunked = sum(
+        len(pickle.dumps((spec, [(a.circuit, a.partition)
+                                 for a in shard])))
+        for shard in shards if shard)
+    return per_task, chunked
+
+
+def bench_cold_process_per_task(device: Device, num_programs: int,
+                                workers: int, seed: int) -> float:
+    """The pre-sharding process path: one pool task per program, each
+    pickling the full device — what chunked fingerprints replace."""
+    from repro.core.executor import _default_transpiler
+
+    job = unique_cold_job(device, num_programs, seed)
+    with CompileService(max_workers=workers, mode="process") as svc:
+        svc.compile_allocation(unique_cold_job(device, workers, seed + 1))
+        start = time.perf_counter()
+        futures = [
+            svc.submit(a.circuit, device, a, _default_transpiler,
+                       route="process")
+            for a in job.allocations
+        ]
+        for fut in futures:
+            fut.result()
+        return time.perf_counter() - start
+
+
+def scheduler_dedup(device: Device, num_programs: int, seed: int
+                    ) -> Tuple[int, int, int]:
+    """Drive the cloud scheduler through a compile service and count
+    re-transpiles of structurally identical submissions.
+
+    Serial service (one program per job) over a heavy-tail mix: every
+    repeated circuit arrives at a distinct queue index and must hit the
+    structural cache instead of re-compiling.  Returns
+    ``(requests, compiled, unique_structural)``.
+    """
+    subs = synthesize_traffic(num_programs, pattern="poisson",
+                              mean_interarrival_ns=2e5, mix="heavy_tail",
+                              seed=seed)
+    with CompileService(mode="serial") as svc:
+        scheduler = CloudScheduler(device, max_batch_size=1,
+                                   fidelity_threshold=0.0,
+                                   compile_service=svc)
+        outcome = scheduler.schedule(subs)
+        compiled = svc.stats["submitted"]
+    unique = len({
+        (_circuit_key(a.circuit), a.partition)
+        for job in outcome.jobs for a in job.allocation.allocations
+    })
+    return outcome.compile_requests, compiled, unique
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -176,6 +310,48 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"result cache on warm pass: {cache.transpile_hits} hits / "
           f"{cache.transpile_misses} misses")
 
+    # --- cold path: process-pool sharding on a wide device -------------
+    wide = ibm_manhattan()
+    n_cold = 12 if args.smoke else 48
+    serial_s, process_s, chunks = bench_cold_process(
+        wide, n_cold, args.workers, args.seed)
+    per_task_s = bench_cold_process_per_task(
+        wide, n_cold, args.workers, args.seed)
+    process_speedup = serial_s / process_s
+    chunking_speedup = per_task_s / process_s
+    cores = os.cpu_count() or 1
+    print_table(
+        f"Cold-miss compile of {n_cold} unique programs on {wide.name} "
+        f"({wide.num_qubits}q, {cores} cores)",
+        ["path", "total(ms)", "per-program(ms)", "vs serial"],
+        [
+            ["serial (one process)", f"{serial_s * 1e3:.1f}",
+             f"{serial_s / n_cold * 1e3:.2f}", "1.00x"],
+            ["process, per-task (full device pickled per program)",
+             f"{per_task_s * 1e3:.1f}", f"{per_task_s / n_cold * 1e3:.2f}",
+             f"{serial_s / per_task_s:.2f}x"],
+            [f"process, chunked ({args.workers} workers, {chunks} "
+             f"chunks, fingerprint rehydration)",
+             f"{process_s * 1e3:.1f}", f"{process_s / n_cold * 1e3:.2f}",
+             f"{process_speedup:.2f}x"],
+        ])
+    per_task_bytes, chunked_bytes = request_payload_bytes(
+        wide, n_cold, args.workers, args.seed)
+    print(f"chunked sharding vs per-task process submission: "
+          f"{chunking_speedup:.2f}x wall-clock, "
+          f"{per_task_bytes / 1e6:.2f} MB -> {chunked_bytes / 1e6:.2f} MB "
+          f"request payload ({per_task_bytes / chunked_bytes:.1f}x fewer "
+          f"bytes shipped)")
+
+    # --- scheduler-path structural dedup -------------------------------
+    requests, compiled, unique_structural = scheduler_dedup(
+        device, num_programs, args.seed)
+    retranspiles = compiled - unique_structural
+    print(f"scheduler dedup: {requests} compile requests at distinct "
+          f"queue indices -> {compiled} compiled "
+          f"({unique_structural} unique programs, "
+          f"{retranspiles} re-transpiles)")
+
     warm_speedup = cold_s / warm_s
     payload = {
         "bench": "bench_transpile",
@@ -192,11 +368,38 @@ def main(argv: Sequence[str] | None = None) -> int:
         "warm_context_only_speedup": cold_s / warm_ctx_s,
         "service_speedup": cold_s / service_s,
         "floor": SPEEDUP_FLOOR,
+        "cold_process": {
+            "device": wide.name,
+            "programs": n_cold,
+            "cores": cores,
+            "serial_s": serial_s,
+            "per_task_s": per_task_s,
+            "process_s": process_s,
+            "chunks": chunks,
+            "speedup": process_speedup,
+            "chunking_speedup": chunking_speedup,
+            "per_task_request_bytes": per_task_bytes,
+            "chunked_request_bytes": chunked_bytes,
+        },
+        "scheduler_dedup": {
+            "compile_requests": requests,
+            "compiled": compiled,
+            "unique_structural": unique_structural,
+            "retranspiles": retranspiles,
+        },
     }
     with open(ARTIFACT, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {ARTIFACT}")
+
+    if retranspiles != 0:
+        print(f"FAIL: {retranspiles} re-transpiles of structurally "
+              "identical submissions at distinct queue indices "
+              "(expected 0)", file=sys.stderr)
+        return 1
+    print("OK: warm-equivalent submissions at distinct queue indices "
+          "hit the cache (0 re-transpiles)")
 
     print(f"\nwarm-context speedup over cold per-call transpile: "
           f"{warm_speedup:.2f}x (floor {SPEEDUP_FLOOR:g}x)")

@@ -31,6 +31,19 @@ def melbourne():
     return ibm_melbourne()
 
 
+def connected_subset(coupling, start: int, size: int) -> tuple:
+    """A deterministic BFS-grown connected qubit subset of *size*."""
+    seen = [start]
+    frontier = [start]
+    while frontier and len(seen) < size:
+        nxt = frontier.pop(0)
+        for nb in coupling.neighbors(nxt):
+            if nb not in seen and len(seen) < size:
+                seen.append(nb)
+                frontier.append(nb)
+    return tuple(sorted(seen))
+
+
 def print_table(title: str, header: list, rows: list) -> None:
     """Render a fixed-width table to stdout (shown with pytest -s)."""
     widths = [

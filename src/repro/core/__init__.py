@@ -31,6 +31,7 @@ from .executor import (
     ExecutionCache,
     ExecutionOutcome,
     execute_allocation,
+    index_sensitive_transpiler,
     run_batch,
 )
 from .metrics import (
@@ -109,6 +110,7 @@ __all__ = [
     "get_allocator",
     "grow_partition_candidates",
     "hardware_throughput",
+    "index_sensitive_transpiler",
     "jensen_shannon_divergence",
     "kl_divergence",
     "multiqc_allocate",

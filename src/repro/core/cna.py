@@ -53,8 +53,15 @@ class CnaCompilation:
     transpiled: Dict[int, TranspileResult] = field(default_factory=dict)
 
     def transpiler_fn(self) -> Callable:
-        """Adapter for :func:`repro.core.executor.execute_allocation`."""
+        """Adapter for :func:`repro.core.executor.execute_allocation`.
 
+        CNA compiles each program against the free chip *as of its queue
+        position*, so the lookup genuinely observes ``alloc.index`` and
+        must be cached index-sensitively.
+        """
+        from .executor import index_sensitive_transpiler
+
+        @index_sensitive_transpiler
         def lookup(circuit: QuantumCircuit, device: Device,
                    alloc: ProgramAllocation) -> TranspileResult:
             return self.transpiled[alloc.index]

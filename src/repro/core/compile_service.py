@@ -15,6 +15,16 @@ thread/process/serial worker set with three layers of reuse:
   tables (thread workers share the parent's; each process-pool worker
   warms its own on first use and keeps it for the pool's lifetime).
 
+Process mode ships work in *chunks*: one allocation's partitions are
+sharded across the workers, and each chunk carries a plain-data device
+fingerprint (coupling edges + calibration tables — kilobytes) instead of
+a pickled :class:`~repro.transpiler.context.DeviceContext` (graphs,
+Dijkstra tables, memoized sub-contexts).  The worker rehydrates the
+fingerprint through its process-local context registry, so the first
+chunk on a worker builds the tables once and every later chunk hits.
+``mode="auto"`` picks serial/thread/process per batch from the batch
+size and device width (:meth:`CompileService.choose_route`).
+
 It plugs into :func:`repro.core.executor.run_batch` (prefetch: all jobs'
 programs are submitted before the first job executes, overlapping
 compilation with execution) and :class:`repro.core.CloudScheduler`
@@ -23,19 +33,85 @@ compilation with execution) and :class:`repro.core.CloudScheduler`
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
-from ..transpiler.transpile import TranspileResult
+from ..hardware.topology import CouplingMap
+from ..transpiler.context import device_context
+from ..transpiler.transpile import TranspileResult, transpile
 from .allocators import AllocationResult, ProgramAllocation
 from .executor import ExecutionCache, TranspilerFn, _default_transpiler
 
 __all__ = ["CompileService"]
 
-_MODES = ("thread", "process", "serial")
+_MODES = ("auto", "thread", "process", "serial")
+
+#: Batches at or below this size run inline: pool dispatch overhead
+#: exceeds the work.
+_SERIAL_MAX_BATCH = 2
+
+#: Process-pool thresholds: per-task pickling only amortizes on wide
+#: devices (long compiles) and real batches (ROADMAP: >30q).
+_PROCESS_MIN_BATCH = 8
+_PROCESS_MIN_WIDTH = 30
+
+
+# ----------------------------------------------------------------------
+# process-worker side: fingerprint shipping + registry rehydration
+# ----------------------------------------------------------------------
+
+def _device_fingerprint_spec(device: Device) -> Dict:
+    """Plain-data snapshot of what compilation observes of a device.
+
+    Exactly the values behind the context registry's fingerprint —
+    cheap to pickle, and sufficient for a worker to rehydrate the shared
+    :class:`DeviceContext` on its side of the process boundary.  The
+    calibration is copied by :func:`~repro.transpiler.context.
+    _snapshot_calibration` (a dataclass of plain dicts), the single
+    field-list authority, so a new :class:`Calibration` field cannot
+    silently go missing from worker rehydration.
+    """
+    from ..transpiler.context import _snapshot_calibration
+
+    return {
+        "num_qubits": device.coupling.num_qubits,
+        "edges": device.coupling.edges,
+        "calibration": _snapshot_calibration(device.calibration),
+    }
+
+
+def _rehydrate_context(spec: Dict):
+    """Worker-side context lookup from a fingerprint spec.
+
+    Goes through the process-local :func:`device_context` registry, so
+    every chunk after the first reuses the worker's cached tables.
+    """
+    coupling = CouplingMap(spec["num_qubits"], spec["edges"])
+    return device_context(coupling, spec["calibration"])
+
+
+def _compile_partition_chunk(
+    spec: Dict,
+    tasks: Sequence[Tuple[QuantumCircuit, Tuple[int, ...]]],
+) -> List[TranspileResult]:
+    """Compile one shard of (circuit, partition) tasks in a worker.
+
+    Mirrors :func:`~repro.core.executor._default_transpiler`
+    (``optimization_level=3, schedule=True``) on the rehydrated
+    context's memoized partition sub-contexts.
+    """
+    context = _rehydrate_context(spec)
+    results: List[TranspileResult] = []
+    for circuit, partition in tasks:
+        sub = context.partition_context(tuple(int(q) for q in partition))
+        results.append(transpile(
+            circuit, sub.coupling, sub.calibration,
+            optimization_level=3, schedule=True, context=sub))
+    return results
 
 
 class CompileService:
@@ -48,9 +124,11 @@ class CompileService:
         ``mode="serial"``.
     mode:
         ``"thread"`` (default; shares every cache with the workers),
-        ``"process"`` (true parallelism; inputs/results are pickled and
-        each worker process warms its own context registry), or
-        ``"serial"`` (no pool — same API, inline execution).
+        ``"process"`` (true parallelism; chunk-sharded for the default
+        transpiler, per-task pickling otherwise), ``"serial"`` (no pool
+        — same API, inline execution), or ``"auto"`` (per-batch choice
+        via :meth:`choose_route`: inline for tiny batches, process pool
+        for big batches on wide devices, threads otherwise).
     cache:
         The shared :class:`ExecutionCache`; a private one is created
         when omitted.  Every submission publishes its result here, so
@@ -68,50 +146,80 @@ class CompileService:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
         self.mode = mode
         self.cache = cache or ExecutionCache()
-        self._pool = None
-        if mode == "thread":
-            self._pool = ThreadPoolExecutor(
-                max_workers=max_workers,
-                thread_name_prefix="compile-service")
-        elif mode == "process":
-            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        self._max_workers = max_workers
+        # Pools are lazy: auto mode may never need one of them, and a
+        # process pool costs real fork/spawn time.
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, Future] = {}
         #: Request accounting: ``submitted`` tasks actually handed to a
         #: worker, ``coalesced`` requests that joined an in-flight task,
-        #: ``short_circuits`` requests answered straight from the cache.
+        #: ``short_circuits`` requests answered straight from the cache,
+        #: ``chunks`` process-pool shards shipped.
         self.stats: Dict[str, int] = {
-            "submitted": 0, "coalesced": 0, "short_circuits": 0}
+            "submitted": 0, "coalesced": 0, "short_circuits": 0,
+            "chunks": 0}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def choose_route(batch_size: int, device_width: int,
+                     cores: Optional[int] = None) -> str:
+        """Worker route for one batch, from its size and device width.
+
+        Tiny batches run inline (``"serial"``); large batches on wide
+        devices — where per-program compile time amortizes pickling —
+        shard across the process pool; everything else uses threads
+        (GIL-bound, but cache-shared and cheap to enter).  A process
+        pool cannot win without a second core (*cores* defaults to
+        ``os.cpu_count()``), so single-core hosts never auto-route to
+        it — explicit ``mode="process"`` still does.
+        """
+        if batch_size <= _SERIAL_MAX_BATCH:
+            return "serial"
+        if cores is None:
+            cores = os.cpu_count() or 1
+        if (cores > 1
+                and batch_size >= _PROCESS_MIN_BATCH
+                and device_width >= _PROCESS_MIN_WIDTH):
+            return "process"
+        return "thread"
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="compile-service")
+        return self._thread_pool
+
+    def _process_executor(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self._max_workers)
+        return self._process_pool
 
     # ------------------------------------------------------------------
     def submit(self, circuit: QuantumCircuit, device: Device,
                allocation: ProgramAllocation,
-               transpiler_fn: Optional[TranspilerFn] = None) -> Future:
+               transpiler_fn: Optional[TranspilerFn] = None,
+               route: Optional[str] = None) -> Future:
         """Schedule one transpile; dedups against cache and in-flight work.
 
         The future resolves once the result is computed *and* published
         to :attr:`cache`.  Its value is the raw cached result — shared,
         do not mutate; resolve through :meth:`transpile` for a fresh
-        copy.
+        copy.  *route* overrides the worker kind for this request
+        (``"serial"``/``"thread"``/``"process"``); single submissions in
+        auto mode default to threads.
         """
         fn = transpiler_fn or _default_transpiler
+        if route is None:
+            route = "thread" if self.mode == "auto" else self.mode
         key = self.cache.transpile_key(circuit, device, allocation, fn)
         with self._lock:
-            found = self.cache.lookup_transpile_raw(key, device, fn)
-            if found is not None:
-                self.stats["short_circuits"] += 1
-                done: Future = Future()
-                done.set_result(found)
-                return done
-            if key is not None:
-                inflight = self._inflight.get(key)
-                if inflight is not None:
-                    self.stats["coalesced"] += 1
-                    return inflight
-            out: Future = Future()
-            if key is not None:
-                self._inflight[key] = out
-            self.stats["submitted"] += 1
+            found, out = self._claim(key, device, fn)
+        if out is None:
+            return found
 
         def publish(result: TranspileResult) -> None:
             self.cache.store_transpile_raw(key, device, fn, result)
@@ -124,14 +232,16 @@ class CompileService:
                 self._inflight.pop(key, None)
             out.set_exception(exc)
 
-        if self._pool is None:
+        if route == "serial":
             try:
                 publish(fn(circuit, device, allocation))
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 fail(exc)
             return out
 
-        raw = self._pool.submit(fn, circuit, device, allocation)
+        pool = (self._process_executor() if route == "process"
+                else self._thread_executor())
+        raw = pool.submit(fn, circuit, device, allocation)
 
         def on_done(f: Future) -> None:
             exc = f.exception()
@@ -149,6 +259,35 @@ class CompileService:
         raw.add_done_callback(on_done)
         return out
 
+    def _claim(self, key: Optional[Hashable], device: Device,
+               fn: TranspilerFn
+               ) -> Tuple[Optional[Future], Optional[Future]]:
+        """Cache/in-flight dedup for one request.
+
+        Call under the lock with *key* precomputed outside it (the
+        circuit fingerprint is the expensive part and needs no lock).
+        Returns ``(resolved, owned)``: *resolved* is a future the
+        caller hands back as-is (cache hit or coalesced join, in which
+        case *owned* is ``None``); otherwise *owned* is a fresh future
+        the caller must fulfil, registered in-flight under *key*.
+        """
+        found = self.cache.lookup_transpile_raw(key, device, fn)
+        if found is not None:
+            self.stats["short_circuits"] += 1
+            done: Future = Future()
+            done.set_result(found)
+            return done, None
+        if key is not None:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats["coalesced"] += 1
+                return inflight, None
+        out: Future = Future()
+        if key is not None:
+            self._inflight[key] = out
+        self.stats["submitted"] += 1
+        return None, out
+
     def transpile(self, circuit: QuantumCircuit, device: Device,
                   allocation: ProgramAllocation,
                   transpiler_fn: Optional[TranspilerFn] = None
@@ -157,17 +296,120 @@ class CompileService:
         fut = self.submit(circuit, device, allocation, transpiler_fn)
         return ExecutionCache._fresh(fut.result())
 
+    # ------------------------------------------------------------------
     def submit_allocation(self, allocation_result: AllocationResult,
                           transpiler_fn: Optional[TranspilerFn] = None
                           ) -> List[Future]:
-        """Submit every program of one allocated job (program order)."""
+        """Submit every program of one allocated job (program order).
+
+        The worker route is resolved once per batch: explicit modes are
+        honoured; ``"auto"`` consults :meth:`choose_route` with the
+        batch size and device width.  The process route shards the
+        batch's *unique* compile requests into contiguous chunks (one
+        per worker), shipping the device fingerprint once per chunk;
+        custom hooks fall back to per-task submission (their closures
+        rarely survive pickling, and the worker could not rebuild their
+        environment from a fingerprint anyway).
+        """
         ordered = sorted(allocation_result.allocations,
                          key=lambda a: a.index)
+        device = allocation_result.device
+        fn = transpiler_fn or _default_transpiler
+        route = self.mode
+        if route == "auto":
+            route = self.choose_route(len(ordered), device.num_qubits)
+            if route == "process" and fn is not _default_transpiler:
+                route = "thread"
+        if route == "process" and fn is _default_transpiler:
+            return self._submit_process_chunks(ordered, device)
         return [
-            self.submit(a.circuit, allocation_result.device, a,
-                        transpiler_fn)
+            self.submit(a.circuit, device, a, fn, route=route)
             for a in ordered
         ]
+
+    def _submit_process_chunks(self, ordered: Sequence[ProgramAllocation],
+                               device: Device) -> List[Future]:
+        """Shard default-transpiler requests across the process pool."""
+        fn = _default_transpiler
+        futures: List[Future] = []
+        todo: List[Tuple[Hashable, ProgramAllocation, Future]] = []
+        keys = [self.cache.transpile_key(a.circuit, device, a, fn)
+                for a in ordered]
+        with self._lock:
+            for alloc, key in zip(ordered, keys):
+                # Within-batch duplicates coalesce via _claim: the first
+                # occurrence registers its key in-flight, later ones
+                # join it — same mechanism as cross-batch dedup.
+                resolved, owned = self._claim(key, device, fn)
+                if owned is None:
+                    futures.append(resolved)
+                    continue
+                todo.append((key, alloc, owned))
+                futures.append(owned)
+        if not todo:
+            return futures
+
+        pool = self._process_executor()
+        spec = _device_fingerprint_spec(device)
+        workers = (self._max_workers or os.cpu_count() or 1)
+        n_chunks = max(1, min(len(todo), workers))
+        bounds = [round(i * len(todo) / n_chunks)
+                  for i in range(n_chunks + 1)]
+        submitted_upto = 0
+        try:
+            for lo, hi in zip(bounds, bounds[1:]):
+                shard = todo[lo:hi]
+                if not shard:
+                    continue
+                tasks = [(alloc.circuit, alloc.partition)
+                         for _, alloc, _ in shard]
+                raw = pool.submit(_compile_partition_chunk, spec, tasks)
+                submitted_upto = hi
+                raw.add_done_callback(
+                    lambda f, shard=shard: self._publish_chunk(
+                        f, shard, device, fn))
+                with self._lock:
+                    self.stats["chunks"] += 1
+        except BaseException as exc:  # noqa: BLE001
+            # pool.submit can raise synchronously (e.g. a broken
+            # process pool).  The not-yet-submitted shards' futures are
+            # already claimed in-flight; leaving them unresolved would
+            # hang every waiter and poison coalescing, so fail them.
+            rest = todo[submitted_upto:]
+            with self._lock:
+                for key, _, _ in rest:
+                    self._inflight.pop(key, None)
+            for _, _, out in rest:
+                out.set_exception(exc)
+        return futures
+
+    def _publish_chunk(self, raw: Future,
+                       shard: Sequence[Tuple[Hashable, ProgramAllocation,
+                                             Future]],
+                       device: Device, fn: TranspilerFn) -> None:
+        """Resolve one chunk's per-program futures from its worker."""
+        exc = raw.exception()
+        if exc is None:
+            try:
+                results = raw.result()
+                if len(results) != len(shard):
+                    raise RuntimeError(
+                        f"chunk returned {len(results)} results for "
+                        f"{len(shard)} tasks")
+            except BaseException as e:  # noqa: BLE001
+                exc = e
+        if exc is not None:
+            with self._lock:
+                for key, _, _ in shard:
+                    self._inflight.pop(key, None)
+            for _, _, out in shard:
+                out.set_exception(exc)
+            return
+        for (key, _, out), result in zip(shard, results):
+            self.cache.store_transpile_raw(key, device, fn, result)
+            with self._lock:
+                self._inflight.pop(key, None)
+            out.set_result(result)
 
     def compile_allocation(self, allocation_result: AllocationResult,
                            transpiler_fn: Optional[TranspilerFn] = None
@@ -178,9 +420,11 @@ class CompileService:
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker pool (the cache stays usable)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
+        """Stop the worker pools (the cache stays usable)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=wait)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=wait)
 
     def __enter__(self) -> "CompileService":
         return self

@@ -43,11 +43,31 @@ from .metrics import jensen_shannon_divergence, pst
 from .qucp import AllocationResult, ProgramAllocation
 
 __all__ = ["ExecutionOutcome", "execute_allocation", "TranspilerFn",
-           "BatchJob", "ExecutionCache", "run_batch"]
+           "BatchJob", "ExecutionCache", "index_sensitive_transpiler",
+           "run_batch"]
 
 #: Hook: (logical circuit, device, allocation) -> TranspileResult.
 TranspilerFn = Callable[[QuantumCircuit, Device, ProgramAllocation],
                         TranspileResult]
+
+#: Attribute marking a transpiler hook whose output depends on
+#: ``ProgramAllocation.index`` (see :func:`index_sensitive_transpiler`).
+_INDEX_SENSITIVE_ATTR = "_observes_allocation_index"
+
+
+def index_sensitive_transpiler(fn: TranspilerFn) -> TranspilerFn:
+    """Mark *fn* as observing ``ProgramAllocation.index``.
+
+    The default :meth:`ExecutionCache.transpile_key` is *structural*: it
+    covers the circuit, partition, EFS, and crosstalk pairs but not the
+    queue index, so identical programs submitted at different queue
+    positions dedup into one cache entry.  A hook whose result genuinely
+    depends on the index (e.g. CNA's precompiled-lookup adapter) must be
+    wrapped with this decorator; its entries are then keyed
+    index-sensitively and never alias across queue positions.
+    """
+    setattr(fn, _INDEX_SENSITIVE_ATTR, True)
+    return fn
 
 
 @dataclass
@@ -144,14 +164,21 @@ class ExecutionCache:
                       transpiler_fn: TranspilerFn) -> Optional[Tuple]:
         """Cache key of one transpile request, or ``None`` (unhashable).
 
-        The key covers every input the hook can observe: circuit
-        structure, all :class:`ProgramAllocation` fields, the device, and
-        the transpiler function itself.
+        The default key is *structural*: circuit structure, placement
+        (partition, EFS, crosstalk pairs), the device, and the hook —
+        but **not** ``allocation.index``, so identical programs admitted
+        at different queue positions share one entry across
+        submissions.  Hooks that actually observe the index (marked via
+        :func:`index_sensitive_transpiler`) get the index folded back
+        in, keeping their entries position-exact.
         """
         ckey = _circuit_key(circuit)
         if ckey is None:
             return None
-        return (ckey, allocation.index, allocation.partition,
+        index = (allocation.index
+                 if getattr(transpiler_fn, _INDEX_SENSITIVE_ATTR, False)
+                 else None)
+        return (ckey, index, allocation.partition,
                 allocation.efs, allocation.crosstalk_pairs,
                 id(device), id(transpiler_fn))
 
@@ -292,11 +319,12 @@ def execute_allocation(
     transpiled: List[TranspileResult] = []
     programs: List[Program] = []
     if compile_service is not None:
-        futures = [
-            compile_service.submit(alloc.circuit, device, alloc,
-                                   transpiler_fn)
-            for alloc in ordered
-        ]
+        # submit_allocation resolves the worker route per batch (auto
+        # mode may shard wide batches across the process pool) and
+        # returns futures in allocation-index order — the same order as
+        # `ordered`.
+        futures = compile_service.submit_allocation(allocation_result,
+                                                    transpiler_fn)
         # Consume the futures' raw results directly (freshened against
         # aliasing): for hashable circuits they are already published to
         # the shared cache, and unhashable ones must not compile twice.
@@ -365,15 +393,23 @@ def run_batch(
         for job in normalized:
             fn = job.transpiler_fn or _default_transpiler
             device = job.allocation.device
-            for alloc in job.allocation.allocations:
-                # Unhashable circuits cannot be deduped against the
-                # prefetch (no cache key, no in-flight coalescing), so
-                # submitting them here would double-compile when
-                # execute_allocation submits its own request.
+            # Unhashable circuits cannot be deduped against the
+            # prefetch (no cache key, no in-flight coalescing), so
+            # submitting them here would double-compile when
+            # execute_allocation submits its own request.  The rest go
+            # through submit_allocation as one batch, so the service's
+            # per-batch routing (auto mode, process-chunk sharding)
+            # applies to the prefetch too.
+            hashable = [
+                alloc for alloc in job.allocation.allocations
                 if cache.transpile_key(alloc.circuit, device, alloc,
-                                       fn) is not None:
-                    compile_service.submit(alloc.circuit, device, alloc,
-                                           fn)
+                                       fn) is not None
+            ]
+            if hashable:
+                compile_service.submit_allocation(
+                    AllocationResult(method=job.allocation.method,
+                                     device=device,
+                                     allocations=hashable), fn)
     batch_seeds = spawn_seeds(seed, len(normalized))
     outcomes: List[List[ExecutionOutcome]] = []
     for job, child in zip(normalized, batch_seeds):

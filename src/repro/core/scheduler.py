@@ -104,6 +104,11 @@ class ScheduleOutcome:
     rejected: List[int] = field(default_factory=list)
     completion_ns: Dict[int, float] = field(default_factory=dict)
     jobs: List[DispatchedBatch] = field(default_factory=list)
+    #: Transpile requests handed to the compile service (0 without one).
+    #: The service's own stats say how many actually compiled vs. hit
+    #: the structural cache — identical programs at different queue
+    #: indices dedup into one compile.
+    compile_requests: int = 0
 
     @property
     def batches(self) -> List[AllocationResult]:
@@ -167,7 +172,10 @@ class CloudScheduler:
         service's worker pool *at dispatch time*, so compilation
         overlaps the rest of the scheduling run; :meth:`schedule`
         returns only after every submitted transpile has landed in the
-        service's cache, ready for cache-hit execution.
+        service's cache, ready for cache-hit execution.  Cache keys are
+        structural, so a program resubmitted at a different queue index
+        (or by a different user) re-uses the earlier compile instead of
+        re-transpiling.
     """
 
     def __init__(
@@ -401,6 +409,7 @@ class CloudScheduler:
             rejected=rejected,
             completion_ns=completion,
             jobs=jobs,
+            compile_requests=len(compile_futures),
         )
 
 

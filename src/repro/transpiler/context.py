@@ -159,8 +159,13 @@ class DeviceContext:
       as the dict-of-dicts the mapper consumes (bit-identical to the
       historical per-call computation);
     - :attr:`reliability_matrix` / :attr:`hop_matrix` — the same
-      distances as dense numpy arrays (SABRE's vectorized hot path);
-    - :attr:`edge_weights` — per-link reliability weights;
+      distances as dense numpy arrays (SABRE's vectorized hot path and
+      the mapper's vectorized permutation search);
+    - :attr:`readout_vector` — per-physical-qubit symmetrized readout
+      error as a dense vector (the mapper's measurement term);
+    - :attr:`edge_weights` — per-link reliability weights, with
+      :attr:`min_edge_weight` as the admissible lower bound the pruned
+      layout search uses to certify optimality;
     - :meth:`partition_context` — memoized induced sub-contexts
       (induced :class:`CouplingMap` + restricted :class:`Calibration`).
 
@@ -177,6 +182,8 @@ class DeviceContext:
         self._rel_dist: Optional[Dict[int, Dict[int, float]]] = None
         self._rel_matrix: Optional[np.ndarray] = None
         self._hop_matrix: Optional[np.ndarray] = None
+        self._readout_vector: Optional[np.ndarray] = None
+        self._min_edge_weight: Optional[float] = None
         self._subcontexts: Dict[Tuple[int, ...], "DeviceContext"] = {}
         #: Lazy-table build counts plus partition-subcontext hit/miss
         #: counters (exposed for tests and benchmark reporting).
@@ -258,6 +265,41 @@ class DeviceContext:
             self._hop_matrix = mat
             self.stats["tables_built"] += 1
         return self._hop_matrix
+
+    @property
+    def readout_vector(self) -> np.ndarray:
+        """Dense ``(n,)`` symmetrized readout-error vector.
+
+        Entry ``p`` is ``0.5 * (p01 + p10)`` of physical qubit ``p`` —
+        exactly the measurement term :func:`~repro.transpiler.mapping.
+        layout_cost` adds per measured logical.  All zeros without a
+        calibration, so the gathered term vanishes identically.
+        """
+        if self._readout_vector is None:
+            n = self.coupling.num_qubits
+            vec = np.zeros(n, dtype=np.float64)
+            if self.calibration is not None:
+                for q in range(n):
+                    p01, p10 = self.calibration.readout_error[q]
+                    vec[q] = 0.5 * (p01 + p10)
+            vec.setflags(write=False)
+            self._readout_vector = vec
+            self.stats["tables_built"] += 1
+        return self._readout_vector
+
+    @property
+    def min_edge_weight(self) -> float:
+        """Smallest per-link reliability weight (0.0 for edgeless maps).
+
+        Every path of ``h`` hops weighs at least ``h * min_edge_weight``,
+        so ``reliability_distance >= hop_distance * min_edge_weight`` —
+        the admissible bound behind the mapper's escalating-budget
+        pruning.
+        """
+        if self._min_edge_weight is None:
+            weights = self.edge_weights.values()
+            self._min_edge_weight = min(weights) if weights else 0.0
+        return self._min_edge_weight
 
     # ------------------------------------------------------------------
     # partition-induced sub-contexts

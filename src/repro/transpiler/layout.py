@@ -58,6 +58,10 @@ class Layout:
     def __len__(self) -> int:
         return len(self._l2p)
 
+    def __contains__(self, logical: int) -> bool:
+        """True when *logical* is placed by this layout."""
+        return logical in self._l2p
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Layout):
             return NotImplemented
