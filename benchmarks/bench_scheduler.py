@@ -1,14 +1,18 @@
 """Service-level benchmark: serial vs multi-programmed cloud service.
 
-Drives the discrete-event :class:`~repro.core.CloudScheduler` with
-synthetic Poisson traffic over the Table II suite and quantifies what the
-paper's end-state promises — "improve the hardware throughput and reduce
-the overall runtime" — at the *service* level: mean turnaround across
+Drives the provider facade's scheduler-backed fleet backends
+(:class:`repro.service.CloudBackend`, ``execute=False`` — the queue is
+the object of study, not the simulated counts) with synthetic Poisson
+traffic over the Table II suite and quantifies what the paper's
+end-state promises — "improve the hardware throughput and reduce the
+overall runtime" — at the *service* level: mean turnaround across
 allocators, fleet sizes, placement policies, and arrival rates.
 
 The acceptance gate (also run in CI via ``--smoke``): a multi-programmed
 device fleet must beat serial single-device service by >= 2x on mean
-turnaround for a Poisson arrival workload.
+turnaround for a Poisson arrival workload.  Queue outcomes land in
+``BENCH_scheduler.json`` via ``ScheduleOutcome.to_dict()`` — the same
+JSON format facade job results serialize to.
 
 Run:  PYTHONPATH=../src python bench_scheduler.py [--smoke]
 """
@@ -16,18 +20,24 @@ Run:  PYTHONPATH=../src python bench_scheduler.py [--smoke]
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List, Sequence
 
 from conftest import print_table
 
-from repro.core import CloudScheduler, ScheduleOutcome, SubmittedProgram
-from repro.hardware import Device, DeviceFleet, ibm_melbourne, ibm_toronto
+import repro
+from repro.core import ScheduleOutcome, SubmittedProgram
+from repro.hardware import Device, ibm_melbourne, ibm_toronto
+from repro.service import QuantumProvider
 from repro.workloads import synthesize_traffic
 
 #: CI override knob (mirrors bench_kernels.py's KERNEL_SPEEDUP_FLOOR).
 TURNAROUND_FLOOR = float(os.environ.get("SCHEDULER_SPEEDUP_FLOOR", "2.0"))
+
+ARTIFACT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_scheduler.json")
 
 
 def fleet_devices(size: int) -> List[Device]:
@@ -39,6 +49,7 @@ def fleet_devices(size: int) -> List[Device]:
 
 
 def run_service(
+    provider: QuantumProvider,
     submissions: Sequence[SubmittedProgram],
     devices: Sequence[Device],
     allocator: str,
@@ -47,14 +58,16 @@ def run_service(
     window_ns: float = 0.0,
     max_batch_size: int | None = None,
 ) -> ScheduleOutcome:
-    scheduler = CloudScheduler(
-        DeviceFleet(devices, policy=policy),
+    backend = provider.fleet_backend(
+        devices,
+        policy=policy,
         allocator=allocator,
         fidelity_threshold=threshold,
         batch_window_ns=window_ns,
         max_batch_size=max_batch_size,
     )
-    return scheduler.schedule(submissions)
+    # Schedule-only jobs: the discrete-event outcome is the measurement.
+    return backend.run(submissions, execute=False).result().schedule
 
 
 def fmt_ms(ns: float) -> str:
@@ -81,14 +94,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     rates_ns = [2e5] if args.smoke else [1e5, 2e5, 1e6]
     fleet_sizes = [1, 3] if args.smoke else [1, 2, 3]
 
+    provider = repro.provider(job_workers=1)
+    artifact: Dict[str, Dict] = {}
     best_overall = 0.0
     for rate in rates_ns:
         subs = synthesize_traffic(
             num_programs, pattern="poisson", mean_interarrival_ns=rate,
             mix="heavy_tail", seed=args.seed)
         # True serial baseline: one program per hardware job.
-        serial = run_service(subs, fleet_devices(1), "qucp", 0.0,
-                             max_batch_size=1)
+        serial = run_service(provider, subs, fleet_devices(1), "qucp",
+                             0.0, max_batch_size=1)
+        rate_key = f"rate_{rate:g}"
+        artifact[rate_key] = {"serial": serial.to_dict()}
         rows: List[List[object]] = [[
             "serial", 1, "-", 0.0, serial.num_jobs,
             fmt_ms(serial.makespan_ns), fmt_ms(serial.mean_turnaround_ns),
@@ -100,10 +117,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                 for policy in (["least_loaded"] if size == 1 or args.smoke
                                else ["round_robin", "least_loaded",
                                      "best_fidelity"]):
-                    out = run_service(subs, fleet_devices(size), allocator,
-                                      args.threshold, policy=policy)
+                    out = run_service(provider, subs, fleet_devices(size),
+                                      allocator, args.threshold,
+                                      policy=policy)
                     speedup = (serial.mean_turnaround_ns
                                / out.mean_turnaround_ns)
+                    artifact[rate_key][
+                        f"{allocator}/fleet{size}/{policy}"
+                    ] = out.to_dict()
                     rows.append([
                         allocator, size,
                         policy if size > 1 else "-",
@@ -126,10 +147,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"best multi-programmed fleet speedup at this rate: "
               f"{top:.2f}x")
 
+    with open(ARTIFACT, "w") as fh:
+        json.dump({"programs": num_programs, "threshold": args.threshold,
+                   "best_speedup": best_overall, "outcomes": artifact},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {ARTIFACT}")
+
     # The gate holds at the loaded operating point: near-idle rates are
     # reported for the shape (speedup -> 1x as the queue empties) but a
     # saturated Poisson stream must show >= TURNAROUND_FLOOR.
-    print(f"\nbest multi-programmed fleet speedup: {best_overall:.2f}x "
+    print(f"best multi-programmed fleet speedup: {best_overall:.2f}x "
           f"(floor {TURNAROUND_FLOOR:g}x)")
     if best_overall < TURNAROUND_FLOOR:
         print("FAIL: multi-programmed fleet service did not reach the "

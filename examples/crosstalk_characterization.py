@@ -8,31 +8,39 @@ job accounting that makes full characterization so expensive.
 Run:  python examples/crosstalk_characterization.py
 """
 
+import os
+
+import repro
 from repro.characterization import (
     run_srb_experiment,
     srb_experiments,
     srb_overhead_report,
 )
-from repro.hardware import ibm_manhattan, ibm_toronto
+
+#: CI smoke settings (REPRO_FAST=1): fewer pairs, fewer shots.
+FAST = bool(os.environ.get("REPRO_FAST"))
 
 
 def main() -> None:
-    device = ibm_toronto()
+    provider = repro.provider()
+    device = provider.device("ibm_toronto")
 
     print("=== SRB overhead (paper Table I) ===")
-    for dev in (device, ibm_manhattan()):
+    for dev in (device, provider.device("ibm_manhattan")):
         rep = srb_overhead_report(dev.name, dev.coupling)
         print(f"{rep.chip:>15}: {rep.num_qubits} qubits, "
               f"{rep.one_hop_pairs} CNOT pairs, {rep.groups} groups, "
               f"{rep.jobs} jobs at {rep.seeds} seeds")
 
-    print("\n=== characterizing 6 one-hop pairs on Toronto ===")
-    experiments = srb_experiments(device.coupling)[:6]
+    n_pairs = 2 if FAST else 6
+    print(f"\n=== characterizing {n_pairs} one-hop pairs on Toronto ===")
+    experiments = srb_experiments(device.coupling)[:n_pairs]
     print(f"{'pair':>22} | {'EPC alone':>9} | {'EPC simul':>9} | "
           f"{'ratio':>5} | {'truth':>5}")
     print("-" * 64)
     for exp in experiments:
-        res = run_srb_experiment(device, exp, seeds=2, shots=2048,
+        res = run_srb_experiment(device, exp, seeds=2,
+                                 shots=512 if FAST else 2048,
                                  lengths=(1, 8, 20, 40))
         truth = device.crosstalk.factor(exp.link_a, exp.link_b)
         label = f"{exp.link_a}x{exp.link_b}"

@@ -1,28 +1,30 @@
 """Stacking error suppression on a parallel workload.
 
-Combines three techniques the paper discusses on one QuCP parallel job:
+Combines three techniques the paper discusses on one QuCP parallel job,
+submitted twice through the provider facade (same partitions, same
+seed, with and without DD):
 
 1. QuCP partition selection (crosstalk avoidance, no SRB),
-2. dynamical decoupling in the idle windows of the ALAP schedule,
+2. dynamical decoupling in the idle windows of the ALAP schedule
+   (a custom ``transpiler_fn`` passed straight through ``run``),
 3. tensored readout error mitigation per partition.
 
 Run:  python examples/error_suppression_stack.py
 """
 
-from repro.core import (
-    execute_allocation,
-    jensen_shannon_divergence,
-    qucp_allocate,
-)
-from repro.hardware import ibm_toronto
+import repro
+from repro.core import jensen_shannon_divergence, qucp_allocate
 from repro.mitigation import calibrate_readout
 from repro.transpiler import insert_dd_sequences, transpile_for_partition
 from repro.workloads import workload
 
 
 def main() -> None:
-    device = ibm_toronto()
+    provider = repro.provider()
+    device = provider.device("ibm_toronto")
+    backend = provider.simulator(device)
     circuits = [workload(n).circuit() for n in ("qec", "var", "bell")]
+    # One shared allocation, so both runs use identical partitions.
     allocation = qucp_allocate(circuits, device)
 
     def dd_transpiler(circuit, dev, alloc):
@@ -32,14 +34,16 @@ def main() -> None:
             result.circuit, dev.calibration.gate_duration)
         return result
 
-    plain = execute_allocation(allocation, shots=0, seed=21)
-    stacked = execute_allocation(allocation, shots=0, seed=21,
-                                 transpiler_fn=dd_transpiler)
+    # Both jobs queue immediately; results are collected below.
+    plain_job = backend.run(allocation, shots=0, seed=21)
+    stacked_job = backend.run(allocation, shots=0, seed=21,
+                              transpiler_fn=dd_transpiler)
+    plain, stacked = plain_job.result(), stacked_job.result()
 
     print(f"{'program':>12} | {'raw JSD':>8} | {'DD':>8} | "
           f"{'DD+readout':>10}")
     print("-" * 50)
-    for raw_out, dd_out in zip(plain, stacked):
+    for raw_out, dd_out in zip(plain.outcomes[0], stacked.outcomes[0]):
         mitigator = calibrate_readout(
             device, dd_out.allocation.partition, shots=0)
         mitigated = mitigator.apply(dd_out.result.probabilities)

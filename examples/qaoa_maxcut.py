@@ -9,14 +9,19 @@ on a 4-cycle in a single hardware job on IBM Q 65 Manhattan.
 Run:  python examples/qaoa_maxcut.py
 """
 
+import os
+
 import networkx as nx
 
-from repro.hardware import ibm_manhattan
+import repro
 from repro.vqe import (
     max_cut_value,
     run_qaoa_grid_ideal,
     run_qaoa_grid_parallel,
 )
+
+#: CI smoke settings (REPRO_FAST=1): coarser grid, fewer shots.
+FAST = bool(os.environ.get("REPRO_FAST"))
 
 
 def main() -> None:
@@ -26,23 +31,25 @@ def main() -> None:
     optimum = max_cut_value(graph)
     print(f"graph: triangle (K3), exact MaxCut = {optimum:g}")
 
-    ideal = run_qaoa_grid_ideal(graph, resolution=4)
+    resolution = 3 if FAST else 4
+    ideal = run_qaoa_grid_ideal(graph, resolution=resolution)
     g_i, b_i, cut_i = ideal.best
-    print(f"\nideal grid (16 points): best cut {cut_i:.3f} at "
-          f"gamma={g_i:.2f}, beta={b_i:.2f} "
+    print(f"\nideal grid ({resolution ** 2} points): best cut "
+          f"{cut_i:.3f} at gamma={g_i:.2f}, beta={b_i:.2f} "
           f"(ratio {ideal.approximation_ratio(graph):.2f})")
 
-    device = ibm_manhattan()
-    noisy = run_qaoa_grid_parallel(graph, device, resolution=4,
-                                   shots=4096, seed=5)
+    device = repro.provider().device("ibm_manhattan")
+    noisy = run_qaoa_grid_parallel(graph, device, resolution=resolution,
+                                   shots=1024 if FAST else 4096, seed=5)
     g_n, b_n, cut_n = noisy.best
     print(f"QuCP parallel grid: {noisy.num_simultaneous} circuits in one "
           f"job, throughput {noisy.throughput:.1%}")
     print(f"  best cut {cut_n:.3f} at gamma={g_n:.2f}, beta={b_n:.2f} "
           f"(ratio {noisy.approximation_ratio(graph):.2f})")
 
-    print("\nAll 16 angle evaluations cost one queue slot instead of 16 —"
-          " the speedup the paper's conclusion anticipates.")
+    print(f"\nAll {resolution ** 2} angle evaluations cost one queue "
+          f"slot instead of {resolution ** 2} — the speedup the paper's "
+          "conclusion anticipates.")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,25 @@
 """Quickstart: run two programs in parallel on a simulated IBM chip.
 
-Builds two small circuits, lets QuCP pick crosstalk-safe partitions on
-IBM Q 27 Toronto, executes them simultaneously under the device noise
-model, and prints fidelity metrics — the core loop of the paper in ~40
-lines.
+Builds two small circuits, submits them to the provider facade's
+IBM Q 27 Toronto backend, and prints placements and fidelity metrics —
+the core loop of the paper in ~40 lines.  The backend allocates
+crosstalk-safe partitions with QuCP, transpiles through the shared
+compile cache, and simulates both programs simultaneously under the
+device noise model; ``run`` returns an async ``Job`` whose ``result()``
+is typed and JSON-serializable.
 
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.circuits import ghz_circuit
-from repro.core import execute_allocation, qucp_allocate
-from repro.hardware import ibm_toronto
 from repro.workloads import workload
 
 
 def main() -> None:
-    device = ibm_toronto()
+    provider = repro.provider()
+    backend = provider.backend("ibm_toronto")
+    device = backend.devices[0]
     print(f"device: {device.name} with {device.num_qubits} qubits, "
           f"{len(device.coupling.edges)} links")
 
@@ -25,22 +29,23 @@ def main() -> None:
         ghz_circuit(4).measure_all(),
     ]
 
-    # QuCP allocates a partition per program, steering away from
-    # crosstalk-prone neighbourhoods without any SRB characterization.
-    allocation = qucp_allocate(programs, device, sigma=4.0)
-    print(f"\nallocation ({allocation.method}):")
-    for alloc in sorted(allocation.allocations, key=lambda a: a.index):
-        print(f"  program {alloc.index} ({alloc.circuit.name}) -> "
-              f"qubits {alloc.partition}  EFS={alloc.efs:.4f}")
-    print(f"hardware throughput: {allocation.throughput():.1%}")
+    # Submit asynchronously; the backend's QuCP allocator picks
+    # crosstalk-safe partitions without any SRB characterization.
+    job = backend.run(programs, shots=8192, seed=7)
+    print(f"\nsubmitted {job.job_id}: {job.status().value}")
 
-    # Transpile + execute both programs simultaneously (with crosstalk).
-    outcomes = execute_allocation(allocation, shots=8192, seed=7)
+    result = job.result()  # blocks until the job completes
+    print(f"allocation ({result.metadata.method}):")
+    for prog in result.programs:
+        print(f"  program {prog.index} ({prog.circuit_name}) -> "
+              f"qubits {prog.partition}  EFS={prog.efs:.4f}")
+    print(f"hardware throughput: {result.metadata.throughput:.1%}")
+
     print("\nresults:")
-    for out in outcomes:
-        top = sorted(out.result.counts.items(), key=lambda kv: -kv[1])[:3]
-        print(f"  {out.allocation.circuit.name}: "
-              f"PST={out.pst():.3f} JSD={out.jsd():.3f} top={top}")
+    for prog in result.programs:
+        top = sorted(prog.counts.items(), key=lambda kv: -kv[1])[:3]
+        print(f"  {prog.circuit_name}: "
+              f"PST={prog.pst:.3f} JSD={prog.jsd:.3f} top={top}")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 """Throughput vs fidelity: the paper's Sec. IV-B experiment, on the
-allocator-registry + event-driven service API.
+provider facade.
 
 Part 1 sweeps the fidelity threshold on IBM Q 65 Manhattan, letting the
 registry-served QuCP strategy decide how many copies of a benchmark run
@@ -8,26 +8,29 @@ the shape of Fig. 4: throughput climbs from 7.7% to 46.2% while fidelity
 degrades, with a cliff once partitions get crowded.
 
 Part 2 runs the same knob at the *service* level: a Poisson stream of
-submissions through the discrete-event ``CloudScheduler``, showing how
-the threshold trades mean turnaround against jobs dispatched.
+submissions through a scheduler-backed ``CloudBackend`` per threshold,
+showing how the threshold trades mean turnaround against jobs
+dispatched.  ``execute=False`` stops each job after the discrete-event
+schedule — part 2 studies the queue, not the simulated counts.
 
 Run:  python examples/throughput_tradeoff.py
 """
 
+import os
+
 import numpy as np
 
-from repro.core import (
-    CloudScheduler,
-    execute_allocation,
-    get_allocator,
-    select_parallel_count,
-)
-from repro.hardware import ibm_manhattan
+import repro
+from repro.core import get_allocator, select_parallel_count
 from repro.workloads import synthesize_traffic, workload
+
+FAST = bool(os.environ.get("REPRO_FAST"))
 
 
 def main() -> None:
-    device = ibm_manhattan()
+    provider = repro.provider()
+    device = provider.device("ibm_manhattan")
+    simulator = provider.simulator(device)
     bench = workload("alu-v0_27")
     circuit = bench.circuit()
     allocator = get_allocator("qucp")  # the registry-served strategy
@@ -36,17 +39,20 @@ def main() -> None:
     print(f"device: {device.name} ({device.num_qubits} qubits)")
     print(f"allocator: {allocator.method_label()}\n")
 
+    thresholds = ((0.0, 0.4, 2.0) if FAST
+                  else (0.0, 0.1, 0.2, 0.4, 0.7, 1.0, 2.0))
     print(f"{'threshold':>9} | {'copies':>6} | {'throughput':>10} | "
           f"{'avg PST':>8}")
     print("-" * 45)
-    for threshold in (0.0, 0.1, 0.2, 0.4, 0.7, 1.0, 2.0):
+    for threshold in thresholds:
         decision = select_parallel_count(circuit, device,
                                          threshold=threshold,
                                          max_copies=6,
                                          allocator=allocator)
-        outcomes = execute_allocation(decision.allocation, shots=4096,
-                                      seed=13)
-        avg_pst = float(np.mean([o.pst() for o in outcomes]))
+        result = simulator.run(decision.allocation,
+                               shots=1024 if FAST else 4096,
+                               seed=13).result()
+        avg_pst = float(np.mean([p.pst for p in result.programs]))
         print(f"{threshold:>9.2f} | {decision.num_parallel:>6} | "
               f"{decision.throughput:>9.1%} | {avg_pst:>8.3f}")
 
@@ -54,7 +60,7 @@ def main() -> None:
           "(more throughput, shorter queue) at the cost of fidelity.\n")
 
     # -- the same knob as a cloud service ------------------------------
-    subs = synthesize_traffic(12, pattern="poisson",
+    subs = synthesize_traffic(8 if FAST else 12, pattern="poisson",
                               mean_interarrival_ns=2e5,
                               mix="heavy_tail", seed=7)
     print(f"service view: {len(subs)} Poisson submissions on "
@@ -62,15 +68,20 @@ def main() -> None:
     print(f"{'service':>14} | {'jobs':>4} | {'makespan(ms)':>12} | "
           f"{'turnaround(ms)':>14}")
     print("-" * 55)
-    serial = CloudScheduler(device, allocator=allocator,
-                            fidelity_threshold=0.0,
-                            max_batch_size=1).schedule(subs)
+
+    def queue_stats(threshold, max_batch_size=None):
+        backend = provider.backend(device,
+                                   allocator=allocator,
+                                   fidelity_threshold=threshold,
+                                   max_batch_size=max_batch_size)
+        return backend.run(subs, execute=False).result().schedule
+
+    serial = queue_stats(0.0, max_batch_size=1)
     print(f"{'serial':>14} | {serial.num_jobs:>4} | "
           f"{serial.makespan_ns / 1e6:>12.2f} | "
           f"{serial.mean_turnaround_ns / 1e6:>14.2f}")
     for threshold in (0.0, 0.3, 1.0):
-        out = CloudScheduler(device, allocator=allocator,
-                             fidelity_threshold=threshold).schedule(subs)
+        out = queue_stats(threshold)
         print(f"{f'th={threshold:g}':>14} | {out.num_jobs:>4} | "
               f"{out.makespan_ns / 1e6:>12.2f} | "
               f"{out.mean_turnaround_ns / 1e6:>14.2f}")

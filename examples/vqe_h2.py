@@ -9,9 +9,11 @@ simultaneously on IBM Q 65 Manhattan, pushing throughput from 3.1% to
 Run:  python examples/vqe_h2.py
 """
 
+import os
+
 import numpy as np
 
-from repro.hardware import ibm_manhattan
+import repro
 from repro.vqe import (
     group_commuting_terms,
     h2_hamiltonian,
@@ -20,6 +22,9 @@ from repro.vqe import (
     run_vqe_scan_independent,
     run_vqe_scan_parallel,
 )
+
+#: CI smoke settings (REPRO_FAST=1): fewer scan points, fewer shots.
+FAST = bool(os.environ.get("REPRO_FAST"))
 
 
 def main() -> None:
@@ -32,12 +37,13 @@ def main() -> None:
           [[t.label for t, _ in g.terms] for g in groups])
     print(f"exact ground energy (SciPy eigensolver): {exact:.6f} Ha\n")
 
-    device = ibm_manhattan()
-    thetas = np.linspace(-np.pi, np.pi, 12)
+    device = repro.provider().device("ibm_manhattan")
+    thetas = np.linspace(-np.pi, np.pi, 6 if FAST else 12)
+    shots = 2048 if FAST else 8192
 
     ideal = run_vqe_scan_ideal(thetas)
-    parallel = run_vqe_scan_parallel(thetas, device, shots=8192, seed=33)
-    independent = run_vqe_scan_independent(thetas, device, shots=8192,
+    parallel = run_vqe_scan_parallel(thetas, device, shots=shots, seed=33)
+    independent = run_vqe_scan_independent(thetas, device, shots=shots,
                                            seed=33)
 
     print(f"{'method':>10} | {'n_circ':>6} | {'throughput':>10} | "

@@ -13,14 +13,19 @@ parallel variant gets most of the benefit at a fraction of the runtime.
 Run:  python examples/zne_mitigation.py
 """
 
-from repro.hardware import ibm_manhattan
+import os
+
+import repro
 from repro.mitigation import run_zne_comparison
 from repro.workloads import workload
 
+#: CI smoke settings (REPRO_FAST=1): fewer benchmarks, fewer shots.
+FAST = bool(os.environ.get("REPRO_FAST"))
+
 
 def main() -> None:
-    device = ibm_manhattan()
-    names = ["adder", "4mod", "fred", "lin"]
+    device = repro.provider().device("ibm_manhattan")
+    names = ["adder", "lin"] if FAST else ["adder", "4mod", "fred", "lin"]
 
     print(f"{'benchmark':>12} | {'baseline':>8} | {'QuCP+ZNE':>8} | "
           f"{'ZNE':>8} | {'parallel thr':>12}")
@@ -28,7 +33,8 @@ def main() -> None:
     improvements = []
     for name in names:
         circuit = workload(name).circuit()
-        cmp = run_zne_comparison(circuit, device, shots=8192, seed=77)
+        cmp = run_zne_comparison(circuit, device,
+                                 shots=2048 if FAST else 8192, seed=77)
         print(f"{cmp.name:>12} | {cmp.baseline_error:>8.3f} | "
               f"{cmp.qucp_zne_error:>8.3f} | {cmp.zne_error:>8.3f} | "
               f"{cmp.qucp_zne_throughput:>11.1%}")

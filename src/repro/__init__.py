@@ -15,9 +15,16 @@ The package implements, from scratch:
 - the Table II benchmark suite (:mod:`repro.workloads`)
 - VQE with Pauli grouping (:mod:`repro.vqe`) and digital ZNE error
   mitigation (:mod:`repro.mitigation`)
+- the provider/backend/job service facade — the primary public API
+  (:mod:`repro.service`)::
+
+      import repro
+
+      backend = repro.provider().backend("ibm_toronto")
+      result = backend.run(circuits, shots=4096, seed=7).result()
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import (
     characterization,
@@ -25,19 +32,24 @@ from . import (
     core,
     hardware,
     mitigation,
+    service,
     sim,
     transpiler,
     vqe,
     workloads,
 )
+from .service import QuantumProvider, provider
 
 __all__ = [
+    "QuantumProvider",
     "__version__",
     "characterization",
     "circuits",
     "core",
     "hardware",
     "mitigation",
+    "provider",
+    "service",
     "sim",
     "transpiler",
     "vqe",

@@ -10,6 +10,7 @@ from .allocators import (
     Placement,
     PlacementContext,
     ProgramAllocation,
+    UnknownAllocatorError,
     allocation_engine,
     available_allocators,
     circuit_structure_key,
@@ -96,6 +97,7 @@ __all__ = [
     "ScheduleOutcome",
     "SubmittedProgram",
     "ThresholdDecision",
+    "UnknownAllocatorError",
     "allocation_engine",
     "available_allocators",
     "batched_speedup",

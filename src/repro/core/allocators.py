@@ -23,6 +23,7 @@ exactly the memo keys used here.
 
 from __future__ import annotations
 
+import difflib
 import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from .partition import (
 __all__ = [
     "ProgramAllocation",
     "AllocationResult",
+    "UnknownAllocatorError",
     "Placement",
     "PlacementContext",
     "AllocationEngine",
@@ -401,6 +403,30 @@ class Allocator(ABC):
 _REGISTRY: Dict[str, Type[Allocator]] = {}
 
 
+class UnknownAllocatorError(KeyError):
+    """An allocator name that matches nothing in the registry.
+
+    Subclasses :class:`KeyError` so historical ``except KeyError``
+    handlers keep working, but renders as the plain message
+    (``KeyError.__str__`` would repr-quote it) and always names the
+    registered methods, with a close-match suggestion for typos.
+    """
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        hint = ""
+        close = difflib.get_close_matches(name, known, n=1)
+        if close:
+            hint = f" — did you mean {close[0]!r}?"
+        super().__init__(
+            f"unknown allocator {name!r}; available: "
+            f"{', '.join(repr(k) for k in known)}{hint}")
+        self.name = name
+        self.known = tuple(known)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 def register_allocator(cls: Type[Allocator]) -> Type[Allocator]:
     """Class decorator: register an :class:`Allocator` under its name."""
     if not cls.name:
@@ -424,9 +450,7 @@ def get_allocator(name: str, **params) -> Allocator:
     try:
         cls = _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown allocator {name!r}; known: {available_allocators()}"
-        ) from None
+        raise UnknownAllocatorError(name, available_allocators()) from None
     return cls(**params)
 
 

@@ -35,7 +35,12 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
@@ -156,10 +161,11 @@ class CompileService:
         #: Request accounting: ``submitted`` tasks actually handed to a
         #: worker, ``coalesced`` requests that joined an in-flight task,
         #: ``short_circuits`` requests answered straight from the cache,
-        #: ``chunks`` process-pool shards shipped.
+        #: ``chunks`` process-pool shards shipped, ``fallbacks``
+        #: requests compiled inline after a broken/shut-down pool.
         self.stats: Dict[str, int] = {
             "submitted": 0, "coalesced": 0, "short_circuits": 0,
-            "chunks": 0}
+            "chunks": 0, "fallbacks": 0}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -367,26 +373,74 @@ class CompileService:
                 submitted_upto = hi
                 raw.add_done_callback(
                     lambda f, shard=shard: self._publish_chunk(
-                        f, shard, device, fn))
+                        f, shard, device, fn, pool))
                 with self._lock:
                     self.stats["chunks"] += 1
         except BaseException as exc:  # noqa: BLE001
-            # pool.submit can raise synchronously (e.g. a broken
+            rest = todo[submitted_upto:]
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                # Never absorb an interrupt into inline work: fail the
+                # claimed futures (so no waiter hangs) and let it
+                # propagate.
+                with self._lock:
+                    for key, _, _ in rest:
+                        self._inflight.pop(key, None)
+                for _, _, out in rest:
+                    out.set_exception(exc)
+                raise
+            # pool.submit can raise synchronously (a broken or shut-down
             # process pool).  The not-yet-submitted shards' futures are
             # already claimed in-flight; leaving them unresolved would
-            # hang every waiter and poison coalescing, so fail them.
-            rest = todo[submitted_upto:]
-            with self._lock:
-                for key, _, _ in rest:
-                    self._inflight.pop(key, None)
-            for _, _, out in rest:
-                out.set_exception(exc)
+            # hang every waiter, and failing them would fail the whole
+            # job over a pool-health problem — so compile them inline.
+            self._fallback_inline(rest, device, pool)
         return futures
+
+    def _fallback_inline(self, shard: Sequence[Tuple[
+            Hashable, ProgramAllocation, Future]], device: Device,
+            pool=None) -> None:
+        """Compile claimed chunk requests inline after a pool failure.
+
+        The requests' futures are already registered in-flight; each one
+        resolves (or carries its own compile error) exactly as if a
+        worker had served it, so waiters and coalesced joiners cannot
+        tell the pool died — only :attr:`stats` records the fallback.
+        *pool* is the executor the failed shard was submitted to; it is
+        dropped compare-and-swap style (only if still current — another
+        thread may already have replaced it with a healthy pool), so the
+        *next* process-route batch builds a fresh one instead of
+        degrading to inline compilation for the service's remaining
+        lifetime.
+        """
+        fn = _default_transpiler
+        dead = None
+        with self._lock:
+            self.stats["fallbacks"] += len(shard)
+            if pool is not None and self._process_pool is pool:
+                dead, self._process_pool = pool, None
+        if dead is not None:
+            try:
+                dead.shutdown(wait=False)
+            except Exception:  # noqa: BLE001 - already broken
+                pass
+        for key, alloc, out in shard:
+            try:
+                result = fn(alloc.circuit, device, alloc)
+            except BaseException as exc:  # noqa: BLE001
+                with self._lock:
+                    self._inflight.pop(key, None)
+                out.set_exception(exc)
+                continue
+            self.cache.store_transpile_raw(key, device, fn, result)
+            with self._lock:
+                self._inflight.pop(key, None)
+            out.set_result(result)
 
     def _publish_chunk(self, raw: Future,
                        shard: Sequence[Tuple[Hashable, ProgramAllocation,
                                              Future]],
-                       device: Device, fn: TranspilerFn) -> None:
+                       device: Device, fn: TranspilerFn,
+                       pool=None) -> None:
         """Resolve one chunk's per-program futures from its worker."""
         exc = raw.exception()
         if exc is None:
@@ -399,6 +453,12 @@ class CompileService:
             except BaseException as e:  # noqa: BLE001
                 exc = e
         if exc is not None:
+            if isinstance(exc, BrokenExecutor):
+                # A worker died mid-chunk (OOM-killed, crashed
+                # interpreter): pool health, not a compile error — the
+                # programs themselves are fine, so compile them inline.
+                self._fallback_inline(shard, device, pool)
+                return
             with self._lock:
                 for key, _, _ in shard:
                     self._inflight.pop(key, None)

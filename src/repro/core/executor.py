@@ -89,6 +89,33 @@ class ExecutionOutcome:
         return jensen_shannon_divergence(self.result.probabilities,
                                          self.ideal)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary: plain scalars, lists, and str-keyed dicts.
+
+        The one serialization format shared by :class:`~repro.service.
+        Result` payloads and benchmark artifacts — ``json.dumps`` of the
+        return value always succeeds (and round-trips losslessly).
+        """
+        return {
+            "program_index": int(self.allocation.index),
+            "circuit": self.allocation.circuit.name,
+            "num_qubits": int(self.allocation.circuit.num_qubits),
+            "partition": [int(q) for q in self.allocation.partition],
+            "efs": float(self.allocation.efs),
+            "crosstalk_pairs": [
+                [int(a), int(b)]
+                for a, b in self.allocation.crosstalk_pairs],
+            "num_swaps": int(self.transpiled.num_swaps),
+            "depth": int(self.transpiled.circuit.depth()),
+            "shots": int(self.result.shots),
+            "counts": {str(k): int(v)
+                       for k, v in self.result.counts.items()},
+            "probabilities": {str(k): float(v)
+                              for k, v in self.result.probabilities.items()},
+            "pst": float(self.pst()),
+            "jsd": float(self.jsd()),
+        }
+
 
 def _default_transpiler(circuit: QuantumCircuit, device: Device,
                         allocation: ProgramAllocation) -> TranspileResult:

@@ -50,7 +50,19 @@ from .events import EventKind, EventQueue
 from .qucp import DEFAULT_SIGMA, QucpAllocator
 
 __all__ = ["SubmittedProgram", "DispatchedBatch", "ScheduleOutcome",
-           "CloudScheduler", "OnlineScheduler"]
+           "CloudScheduler", "OnlineScheduler", "json_safe_num"]
+
+
+def json_safe_num(value: Optional[float]) -> Optional[float]:
+    """``None`` for NaN/None, ``float(value)`` otherwise.
+
+    Strict JSON rejects NaN; every ``to_dict`` serialization path
+    (schedule outcomes, run metadata, results) routes optional timings
+    through this one helper so the convention cannot drift.
+    """
+    if value is None or math.isnan(value):
+        return None
+    return float(value)
 
 
 @dataclass(frozen=True)
@@ -87,6 +99,30 @@ class DispatchedBatch:
     def members(self) -> Tuple[int, ...]:
         """Submission indices packed into this job."""
         return tuple(sorted(a.index for a in self.allocation.allocations))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary of this hardware job."""
+        ordered = sorted(self.allocation.allocations, key=lambda a: a.index)
+        return {
+            "device_index": int(self.device_index),
+            "device_name": self.device_name,
+            "start_ns": float(self.start_ns),
+            "end_ns": float(self.end_ns),
+            "duration_ns": float(self.duration_ns),
+            "method": self.allocation.method,
+            "members": [int(i) for i in self.members],
+            "allocations": [
+                {
+                    "index": int(a.index),
+                    "circuit": a.circuit.name,
+                    "partition": [int(q) for q in a.partition],
+                    "efs": float(a.efs),
+                    "crosstalk_pairs": [[int(u), int(v)]
+                                        for u, v in a.crosstalk_pairs],
+                }
+                for a in ordered
+            ],
+        }
 
 
 @dataclass
@@ -132,6 +168,26 @@ class ScheduleOutcome:
             busy[job.device_index] = (
                 busy.get(job.device_index, 0.0) + job.duration_ns)
         return busy
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary: plain scalars, lists, and str-keyed dicts.
+
+        ``mean_turnaround_ns`` is ``None`` (not NaN, which strict JSON
+        rejects) when every submission was rejected.  The same format
+        backs :meth:`repro.service.Result.to_dict` and the scheduler
+        benchmark's artifacts.
+        """
+        return {
+            "num_jobs": int(self.num_jobs),
+            "makespan_ns": float(self.makespan_ns),
+            "mean_turnaround_ns": json_safe_num(self.mean_turnaround_ns),
+            "mean_throughput": float(self.mean_throughput),
+            "rejected": [int(i) for i in self.rejected],
+            "completion_ns": {str(i): float(t) for i, t
+                              in sorted(self.completion_ns.items())},
+            "compile_requests": int(self.compile_requests),
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
 
 
 class CloudScheduler:

@@ -1,0 +1,62 @@
+"""The service facade — the repo's primary public API.
+
+One object model over the whole execution stack (allocators, the
+discrete-event cloud scheduler, the parallel compile service, the noisy
+simulators), shaped like a cloud provider SDK::
+
+    import repro
+
+    provider = repro.provider()
+    backend = provider.backend("ibm_toronto", fidelity_threshold=0.3)
+    job = backend.run(circuits, shots=4096, seed=7)     # returns now
+    result = job.result()                               # blocks
+    print(result.counts(0), result.program(0).pst)
+
+- :class:`QuantumProvider` — discovers devices/fleets; owns the shared
+  :class:`~repro.core.ExecutionCache`, the
+  :class:`~repro.core.CompileService`, and the asynchronous job pool.
+- :class:`CloudBackend` / :class:`SimulatorBackend` — per-target
+  configuration (allocator, fidelity threshold, batching window,
+  shots) behind one ``run`` surface.
+- :class:`Job` / :class:`JobSet` — async handles with ``status()`` /
+  ``result()`` / ``cancel()`` and stable ids.
+- :class:`Session` — pins a backend and warms its caches for iterative
+  workloads (VQE/QAOA loops).
+- :class:`Result` / :class:`RunMetadata` / :class:`ProgramResult` —
+  typed, JSON-serializable results with allocation + compile
+  provenance and queue timings.
+
+The free functions this facade fronts —
+:func:`repro.core.execute_allocation`, :func:`repro.core.run_batch`,
+:class:`repro.core.CloudScheduler` — remain available as the engine
+layer; scheduler-backed jobs reproduce ``CloudScheduler.schedule``
+bit-identically (test-enforced).
+"""
+
+from .backend import (
+    BackendConfiguration,
+    BaseBackend,
+    CloudBackend,
+    SimulatorBackend,
+)
+from .job import Job, JobSet, JobStatus
+from .provider import QuantumProvider, UnknownDeviceError, provider
+from .result import ProgramResult, Result, RunMetadata
+from .session import Session
+
+__all__ = [
+    "BackendConfiguration",
+    "BaseBackend",
+    "CloudBackend",
+    "Job",
+    "JobSet",
+    "JobStatus",
+    "ProgramResult",
+    "QuantumProvider",
+    "Result",
+    "RunMetadata",
+    "Session",
+    "SimulatorBackend",
+    "UnknownDeviceError",
+    "provider",
+]

@@ -1,0 +1,201 @@
+"""Asynchronous job handles over the provider's execution pool.
+
+A :class:`Job` is the facade's unit of work: a stable id, a lifecycle
+(:class:`JobStatus`), and a blocking :meth:`Job.result` — the same shape
+cloud provider SDKs expose, so code written against this API ports to a
+real service by swapping the provider.  Jobs are created by backends
+(never directly) and run on the owning provider's thread pool, so
+``backend.run(...)`` returns immediately and the caller overlaps its own
+work — or more submissions — with execution.
+
+A :class:`JobSet` aggregates handles from iterative workloads (a VQE
+scan's per-point jobs, a sweep's per-configuration jobs) behind the
+same status/result/cancel surface.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backend import BaseBackend
+    from .result import Result
+
+__all__ = ["JobStatus", "Job", "JobSet"]
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    ERROR = "error"
+
+    @property
+    def is_final(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self in (JobStatus.DONE, JobStatus.CANCELLED,
+                        JobStatus.ERROR)
+
+
+class Job:
+    """Handle of one asynchronous submission.
+
+    Created by a backend's ``run`` method; the underlying work executes
+    on the provider's job pool.  ``job_id`` is stable for the provider's
+    lifetime and resolvable back through
+    :meth:`~repro.service.QuantumProvider.job`.
+    """
+
+    def __init__(self, job_id: str, backend: "BaseBackend",
+                 future: "Future[Result]") -> None:
+        self._job_id = job_id
+        self._backend = backend
+        self._future = future
+
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> str:
+        """Stable provider-scoped identifier."""
+        return self._job_id
+
+    @property
+    def backend(self) -> "BaseBackend":
+        """The backend this job was submitted to."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    def status(self) -> JobStatus:
+        """Current lifecycle state (non-blocking)."""
+        fut = self._future
+        if fut.cancelled():
+            return JobStatus.CANCELLED
+        if fut.running():
+            return JobStatus.RUNNING
+        if fut.done():
+            return (JobStatus.ERROR if fut.exception() is not None
+                    else JobStatus.DONE)
+        return JobStatus.QUEUED
+
+    def done(self) -> bool:
+        """Whether the job reached a final state."""
+        return self.status().is_final
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; returns whether it worked.
+
+        A job already running on the pool cannot be interrupted (the
+        simulation kernels hold no cancellation points); it runs to
+        completion and reports DONE.
+        """
+        return self._future.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> "Result":
+        """Block until the job finishes and return its :class:`Result`.
+
+        Re-raises the job's error if it failed, :class:`concurrent.
+        futures.CancelledError` if it was cancelled, and
+        :class:`TimeoutError` if *timeout* (seconds) elapses first.
+        """
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        """The job's error, or ``None`` once it succeeded (blocking)."""
+        return self._future.exception(timeout)
+
+    def wait(self, timeout: Optional[float] = None) -> JobStatus:
+        """Block until the job is final (or *timeout* elapses); returns
+        the current status either way — never raises."""
+        try:
+            self._future.exception(timeout)
+        except (CancelledError, FuturesTimeoutError, TimeoutError):
+            pass
+        return self.status()
+
+    def __repr__(self) -> str:
+        return (f"<Job {self._job_id} on {self._backend.name!r}: "
+                f"{self.status().value}>")
+
+
+class JobSet:
+    """An ordered group of jobs addressed as one unit.
+
+    Used for sweeps and sessions: ``results()`` blocks for everything,
+    ``statuses()`` polls everything, ``cancel()`` cancels whatever has
+    not started.  Indexing and iteration yield the member jobs in
+    submission order.
+    """
+
+    def __init__(self, jobs: Sequence[Job] = ()) -> None:
+        self._jobs: List[Job] = list(jobs)
+
+    def add(self, job: Job) -> None:
+        """Append one more handle (sessions grow their set per run)."""
+        self._jobs.append(job)
+
+    @property
+    def jobs(self) -> List[Job]:
+        """The member handles, in submission order."""
+        return list(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    # ------------------------------------------------------------------
+    def statuses(self) -> List[JobStatus]:
+        """Current state of every member (non-blocking)."""
+        return [job.status() for job in self._jobs]
+
+    def done(self) -> bool:
+        """Whether every member reached a final state."""
+        return all(job.done() for job in self._jobs)
+
+    def cancel(self) -> List[bool]:
+        """Try to cancel every member; per-job success flags."""
+        return [job.cancel() for job in self._jobs]
+
+    @staticmethod
+    def _deadline_steps(timeout: Optional[float]):
+        """Per-member timeouts sharing one overall deadline.
+
+        *timeout* bounds the whole call, not each member — a set of 20
+        queued jobs with ``timeout=10`` blocks ~10 s total, not 200.
+        """
+        if timeout is None:
+            while True:
+                yield None
+        deadline = time.monotonic() + timeout
+        while True:
+            yield max(0.0, deadline - time.monotonic())
+
+    def results(self, timeout: Optional[float] = None) -> "List[Result]":
+        """Block for every member's result, in submission order.
+
+        *timeout* (seconds) bounds the whole call; ``TimeoutError`` if
+        it elapses before every member finished.
+        """
+        steps = self._deadline_steps(timeout)
+        return [job.result(step) for job, step in zip(self._jobs, steps)]
+
+    def wait(self, timeout: Optional[float] = None) -> List[JobStatus]:
+        """Block until every member is final (or the overall *timeout*
+        elapses); returns the states."""
+        steps = self._deadline_steps(timeout)
+        return [job.wait(step) for job, step in zip(self._jobs, steps)]
+
+    def __repr__(self) -> str:
+        states = ", ".join(s.value for s in self.statuses())
+        return f"<JobSet of {len(self._jobs)}: [{states}]>"

@@ -1,0 +1,355 @@
+"""The provider: device discovery, shared caches, and the job pool.
+
+:class:`QuantumProvider` is the facade's root object.  It
+
+- discovers execution targets (the built-in synthetic IBM devices plus
+  anything registered with :meth:`~QuantumProvider.add_device`), handing
+  out *one shared instance per name* so every backend built on a device
+  shares its :class:`~repro.core.AllocationEngine` memos and
+  :class:`~repro.transpiler.context.DeviceContext` tables;
+- owns the shared :class:`~repro.core.ExecutionCache` and the
+  :class:`~repro.core.CompileService` publishing into it, so compiles
+  dedup across jobs, backends, and sessions;
+- owns the job pool: every ``backend.run(...)`` returns an asynchronous
+  :class:`~repro.service.Job` executing here, with stable provider-
+  scoped ids resolvable through :meth:`~QuantumProvider.job`.
+
+Most callers want the module-level :func:`provider` accessor::
+
+    import repro
+
+    backend = repro.provider().backend("ibm_toronto")
+    job = backend.run(circuits, shots=4096, seed=7)
+    result = job.result()
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.compile_service import CompileService
+from ..core.executor import ExecutionCache
+from ..hardware.devices import (
+    Device,
+    ibm_manhattan,
+    ibm_melbourne,
+    ibm_toronto,
+)
+from ..hardware.fleet import DeviceFleet
+from .backend import (
+    BackendConfiguration,
+    BaseBackend,
+    CloudBackend,
+    SimulatorBackend,
+)
+from .job import Job
+from .result import Result
+from .session import Session
+
+__all__ = ["QuantumProvider", "UnknownDeviceError", "provider"]
+
+
+class UnknownDeviceError(KeyError):
+    """A device name that matches nothing the provider can resolve.
+
+    Same contract as :class:`repro.core.UnknownAllocatorError`: a
+    :class:`KeyError` subclass whose ``__str__`` is the plain message
+    (not the repr-quoted default), naming the resolvable devices with a
+    close-match suggestion for typos.
+    """
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        hint = ""
+        close = difflib.get_close_matches(name, known, n=1)
+        if close:
+            hint = f" — did you mean {close[0]!r}?"
+        super().__init__(
+            f"unknown device {name!r}; available: "
+            f"{', '.join(repr(k) for k in known)}{hint}")
+        self.name = name
+        self.known = tuple(known)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+#: Built-in synthetic devices, constructed lazily on first lookup.
+_BUILTIN_DEVICES: Dict[str, Callable[[], Device]] = {
+    "ibm_melbourne": ibm_melbourne,
+    "ibm_toronto": ibm_toronto,
+    "ibm_manhattan": ibm_manhattan,
+}
+
+#: Anything a backend target may be specified as.
+DeviceLike = Union[str, Device]
+
+
+class QuantumProvider:
+    """Entry point of the service facade.
+
+    Parameters
+    ----------
+    devices:
+        Extra devices to register at construction (on top of the
+        built-ins), addressable by their ``Device.name``.
+    compile_mode:
+        Worker routing of the shared :class:`CompileService` —
+        ``"auto"`` (default; per-batch serial/thread/process choice),
+        or an explicit route.
+    compile_workers:
+        Compile pool size (``None`` = executor default).
+    cache_entries:
+        Bound on the shared :class:`ExecutionCache` tables (``None`` =
+        unbounded; set for long-lived services).
+    job_workers:
+        Job pool width.  Defaults to 1: jobs are GIL-bound numpy work,
+        so the pool buys *asynchrony* (``run`` never blocks the caller)
+        rather than parallelism, and one worker keeps shared-cache
+        statistics and engine memo growth deterministic.  Raise it when
+        jobs spend their time in a process-mode compile pool.
+    job_history:
+        Bound on the job registry.  Finished jobs beyond it (oldest
+        first) are evicted so their Results can be reclaimed —
+        ``provider.job(old_id)`` then raises KeyError.  ``None``
+        (default) keeps every handle, which is fine interactively but
+        grows without bound in a long-lived service; set it (like
+        *cache_entries*) for service deployments.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device] = (),
+        compile_mode: str = "auto",
+        compile_workers: Optional[int] = None,
+        cache_entries: Optional[int] = None,
+        job_workers: int = 1,
+        job_history: Optional[int] = None,
+    ) -> None:
+        if job_workers < 1:
+            raise ValueError("job_workers must be at least 1")
+        if job_history is not None and job_history < 1:
+            raise ValueError("job_history must be at least 1")
+        self.job_history = job_history
+        # The lock guards device registration and the job registry; it
+        # must exist before the first add_device call below.
+        self._lock = threading.Lock()
+        self._devices: "OrderedDict[str, Device]" = OrderedDict()
+        for device in devices:
+            self.add_device(device)
+        self.cache = ExecutionCache(max_entries=cache_entries)
+        self.compile_service = CompileService(
+            max_workers=compile_workers, mode=compile_mode,
+            cache=self.cache)
+        self._pool = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job")
+        self._job_counter = 0
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # device discovery
+    # ------------------------------------------------------------------
+    def available_devices(self) -> List[str]:
+        """Names resolvable by :meth:`device` (built-ins + registered)."""
+        with self._lock:
+            names = set(_BUILTIN_DEVICES) | set(self._devices)
+        return sorted(names)
+
+    def device(self, name: str) -> Device:
+        """The shared instance registered under *name*.
+
+        Built-in devices are constructed once on first lookup and then
+        reused, so every backend on ``"ibm_toronto"`` shares one
+        instance — and with it the allocation-engine memos and
+        compilation context.  Thread-safe: concurrent first lookups
+        resolve to one instance.
+        """
+        with self._lock:
+            found = self._devices.get(name)
+            if found is not None:
+                return found
+            factory = _BUILTIN_DEVICES.get(name)
+            if factory is None:
+                names = sorted(set(_BUILTIN_DEVICES) | set(self._devices))
+                raise UnknownDeviceError(name, names)
+            device = factory()
+            self._devices[name] = device
+            return device
+
+    def add_device(self, device: Device, name: Optional[str] = None
+                   ) -> str:
+        """Register *device* (under *name* or ``device.name``)."""
+        key = name or device.name
+        with self._lock:
+            existing = self._devices.get(key)
+            if existing is not None and existing is not device:
+                raise ValueError(f"device {key!r} is already registered")
+            self._devices[key] = device
+        return key
+
+    def _resolve_device(self, target: DeviceLike) -> Device:
+        """Name -> registered instance; Device -> used as-is.
+
+        A passed instance is opportunistically registered, but only if
+        its name is still free: twin devices sharing one name (e.g. two
+        differently-seeded Torontos in a benchmark fleet) stay usable
+        without colliding — the explicitly passed instance always wins
+        for *this* backend, and :meth:`device` keeps resolving the name
+        to whichever instance claimed it first.
+        """
+        if isinstance(target, Device):
+            with self._lock:
+                self._devices.setdefault(target.name, target)
+            return target
+        return self.device(target)
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def backends(self) -> List[str]:
+        """Names :meth:`backend` / :meth:`simulator` accept."""
+        return self.available_devices()
+
+    def backend(self, target: DeviceLike = "ibm_toronto",
+                **config) -> CloudBackend:
+        """A cloud (scheduler-backed) backend on one device.
+
+        Keyword arguments configure the target
+        (:class:`~repro.service.BackendConfiguration` fields:
+        ``allocator``, ``fidelity_threshold``, ``batch_window_ns``,
+        ``shots``, ...).
+        """
+        device = self._resolve_device(target)
+        return CloudBackend(device.name, self, DeviceFleet(device),
+                            BackendConfiguration(**config))
+
+    def simulator(self, target: DeviceLike = "ibm_toronto",
+                  **config) -> SimulatorBackend:
+        """A direct-execution backend on one device (no queue model)."""
+        device = self._resolve_device(target)
+        return SimulatorBackend(f"{device.name}-simulator", self, device,
+                                BackendConfiguration(**config))
+
+    def fleet_backend(self, targets: Sequence[DeviceLike],
+                      policy: str = "least_loaded",
+                      name: Optional[str] = None,
+                      **config) -> CloudBackend:
+        """A cloud backend over a multi-device fleet.
+
+        *policy* is the fleet placement policy (``round_robin`` /
+        ``least_loaded`` / ``best_fidelity``).
+        """
+        devices = [self._resolve_device(t) for t in targets]
+        fleet = DeviceFleet(devices, policy=policy)
+        label = name or "fleet[" + ",".join(d.name for d in devices) + "]"
+        return CloudBackend(label, self, fleet,
+                            BackendConfiguration(**config))
+
+    def session(self, backend: Union[BaseBackend, DeviceLike,
+                                     None] = None,
+                **kwargs) -> Session:
+        """Open a :class:`Session` pinned to *backend*.
+
+        *backend* may be an existing backend object or a device name
+        (wrapped as a cloud backend); extra keyword arguments go to the
+        :class:`Session` constructor (``shots``, ``seed``, ``warm``).
+        """
+        if backend is None or isinstance(backend, (str, Device)):
+            backend = self.backend(backend or "ibm_toronto")
+        return Session(backend, **kwargs)
+
+    # ------------------------------------------------------------------
+    # the job pool
+    # ------------------------------------------------------------------
+    def _submit_job(self, backend: BaseBackend,
+                    fn: Callable[[str], Result]) -> Job:
+        """Allocate an id, queue *fn* on the pool, return the handle."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("provider is shut down")
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter:06d}"
+        future = self._pool.submit(fn, job_id)
+        job = Job(job_id, backend, future)
+        with self._lock:
+            self._jobs[job_id] = job
+            if self.job_history is not None:
+                # Evict oldest *finished* handles past the bound; live
+                # jobs are never dropped, so the registry can exceed
+                # the bound only by the number of in-flight jobs.
+                excess = len(self._jobs) - self.job_history
+                if excess > 0:
+                    for jid in [jid for jid, j in self._jobs.items()
+                                if j.done()][:excess]:
+                        del self._jobs[jid]
+        return job
+
+    def job(self, job_id: str) -> Job:
+        """Resolve a handle by its stable id."""
+        with self._lock:
+            found = self._jobs.get(job_id)
+        if found is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return found
+
+    def jobs(self) -> List[Job]:
+        """Every retained handle, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def retire_finished(self) -> int:
+        """Drop every finished handle from the registry (freeing their
+        Results for reclamation); returns how many were dropped."""
+        with self._lock:
+            done = [jid for jid, job in self._jobs.items() if job.done()]
+            for jid in done:
+                del self._jobs[jid]
+        return len(done)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the job pool and the compile service.
+
+        With ``wait=True`` queued jobs finish first; the caches stay
+        readable either way.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        self.compile_service.shutdown(wait=wait)
+
+    def __enter__(self) -> "QuantumProvider":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"<QuantumProvider devices={self.available_devices()} "
+                f"jobs={self._job_counter}>")
+
+
+_DEFAULT_PROVIDER: Optional[QuantumProvider] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def provider(**options) -> QuantumProvider:
+    """The process-wide default :class:`QuantumProvider`.
+
+    With no arguments, returns one shared instance (created on first
+    call) — the idiomatic entry point, so separate modules draw on the
+    same caches and job registry.  Any keyword argument constructs a
+    *fresh*, independent provider configured with it instead.
+    """
+    if options:
+        return QuantumProvider(**options)
+    global _DEFAULT_PROVIDER
+    with _DEFAULT_LOCK:
+        if _DEFAULT_PROVIDER is None:
+            _DEFAULT_PROVIDER = QuantumProvider()
+        return _DEFAULT_PROVIDER

@@ -1,0 +1,148 @@
+"""Sessions: a pinned backend plus warm caches for iterative workloads.
+
+Variational loops (VQE, QAOA) submit near-identical programs hundreds
+of times.  A :class:`Session` pins one backend, pre-builds its devices'
+compilation tables up front (instead of on the first run's critical
+path), carries per-session defaults (shots, a base seed spawned into
+independent per-run streams), and collects every handle it submitted in
+a :class:`~repro.service.JobSet`::
+
+    with provider.session("ibm_manhattan", shots=4096, seed=7) as sess:
+        for theta in thetas:
+            sess.run(ansatz_circuits(theta))
+        energies = [estimate(r) for r in sess.results()]
+
+Closing the session waits for its jobs; the backend and the provider's
+caches — now warm with every transpiled circuit — stay usable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..sim.readout import SeedLike
+from .job import Job, JobSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backend import BaseBackend
+    from .result import Result
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Iterative-workload context over one backend.
+
+    Parameters
+    ----------
+    backend:
+        The pinned backend; every :meth:`run` goes to it.
+    shots:
+        Session-wide default shot count (falls back to the backend's
+        configuration when ``None``).
+    seed:
+        Base seed for runs that don't pass their own: each such run
+        gets an independent child stream (spawned in submission order,
+        so a re-run of the same session is bit-reproducible).  ``None``
+        leaves unseeded runs unseeded.
+    warm:
+        Pre-build the backend devices' compilation tables now (default)
+        instead of on the first run.
+    """
+
+    def __init__(self, backend: "BaseBackend",
+                 shots: Optional[int] = None,
+                 seed: SeedLike = None,
+                 warm: bool = True) -> None:
+        self._backend = backend
+        self._shots = shots
+        self._seed_seq: Optional[np.random.SeedSequence] = None
+        if seed is not None:
+            self._seed_seq = (seed if isinstance(seed,
+                                                 np.random.SeedSequence)
+                              else np.random.SeedSequence(seed))
+        self._spawned = 0
+        self._jobs = JobSet()
+        self._closed = False
+        if warm:
+            backend.warm()
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> "BaseBackend":
+        """The pinned backend."""
+        return self._backend
+
+    @property
+    def jobs(self) -> JobSet:
+        """Every job submitted through this session, in order."""
+        return self._jobs
+
+    #: Session-private spawn-key namespace ("SESS").  Distinct from both
+    #: SeedSequence.spawn's keys (plain counters) and spawn_seeds' batch
+    #: namespace (0x9E3779B9), so session run streams can never collide
+    #: with a caller spawning on the same SeedSequence object or with
+    #: the per-job children run_batch derives further down.
+    _SPAWN_NAMESPACE = 0x53455353
+
+    def _next_seed(self) -> SeedLike:
+        if self._seed_seq is None:
+            return None
+        # Children come from the session's private namespace: run i
+        # always gets the same stream, independent of anything else
+        # derived from the same base SeedSequence.
+        child = np.random.SeedSequence(
+            entropy=self._seed_seq.entropy,
+            spawn_key=(tuple(self._seed_seq.spawn_key)
+                       + (self._SPAWN_NAMESPACE, self._spawned)))
+        self._spawned += 1
+        return child
+
+    # ------------------------------------------------------------------
+    def run(self, circuits, shots: Optional[int] = None,
+            seed: SeedLike = None, **kwargs) -> Job:
+        """Submit through the pinned backend with session defaults.
+
+        *shots* falls back to the session default, *seed* to the next
+        child of the session seed; everything else is forwarded to the
+        backend's ``run``.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        job = self._backend.run(
+            circuits,
+            shots=self._shots if shots is None else shots,
+            seed=self._next_seed() if seed is None else seed,
+            **kwargs)
+        self._jobs.add(job)
+        return job
+
+    def results(self, timeout: Optional[float] = None) -> "List[Result]":
+        """Block for every session job's result, in submission order."""
+        return self._jobs.results(timeout)
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """End the session; with ``wait=True`` block for its jobs.
+
+        The backend and provider outlive the session — only further
+        :meth:`run` calls through *this* session are refused.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            self._jobs.wait()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<Session on {self._backend.name!r}: "
+                f"{len(self._jobs)} jobs, {state}>")
