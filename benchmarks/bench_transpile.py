@@ -24,6 +24,13 @@ programs at distinct queue indices through a compile service, gating on
 **zero re-transpiles** (the structural cache key dedups across
 submissions).
 
+A persistent-store section exercises the layered cache across process
+boundaries: one process compiles the full mix into a SQLite WAL store,
+then a **fresh spawned process** (empty in-memory tiers) replays the
+identical mix against that store.  The gate: the cold process must
+compile **zero** programs — every request is served by promoting the
+stored equivalence-class artifact.
+
 The acceptance gate (also run in CI via ``--smoke``): warm-context
 service compilation must beat cold per-call transpilation by >= 5x on
 the repeated-program mix.  Timings land in ``BENCH_transpile.json`` so
@@ -36,8 +43,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import sys
+import tempfile
 import time
 from typing import Dict, List, Sequence, Tuple
 
@@ -240,6 +249,49 @@ def bench_cold_process_per_task(device: Device, num_programs: int,
         return time.perf_counter() - start
 
 
+def _store_compile_pass(store_path: str, num_programs: int, seed: int
+                        ) -> Tuple[int, int, float]:
+    """Compile the standard traffic mix through a store-backed cache.
+
+    Top-level so it doubles as a ``spawn`` target: the cold phase runs
+    this exact function in a fresh interpreter whose only shared state
+    with the warm phase is the on-disk store.  Returns
+    ``(submitted, promotions, elapsed_s)``.
+    """
+    device = ibm_toronto()
+    traffic = placed_traffic(device, num_programs, seed)
+    job = AllocationResult(method="bench-store", device=device)
+    job.allocations.extend(allocations(device, traffic))
+    cache = ExecutionCache(store_path=store_path)
+    with CompileService(mode="serial", cache=cache) as svc:
+        start = time.perf_counter()
+        svc.compile_allocation(job)
+        elapsed = time.perf_counter() - start
+        stats = svc.stats
+    return stats["submitted"], stats["promotions"], elapsed
+
+
+def bench_cold_process_warm_store(num_programs: int, seed: int,
+                                  store_dir: str) -> Dict[str, float]:
+    """Warm a persistent store in-process, then replay the identical
+    mix from a spawned cold process (empty L1 tiers, shared store)."""
+    store_path = os.path.join(store_dir, "bench_store.db")
+    warm_compiled, _, warm_s = _store_compile_pass(
+        store_path, num_programs, seed)
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        cold_compiled, cold_promotions, cold_s = pool.apply(
+            _store_compile_pass, (store_path, num_programs, seed))
+    return {
+        "warm_compiled": warm_compiled,
+        "warm_s": warm_s,
+        "cold_compiled": cold_compiled,
+        "cold_promotions": cold_promotions,
+        "cold_s": cold_s,
+        "speedup": warm_s / cold_s if cold_s else float("inf"),
+    }
+
+
 def scheduler_dedup(device: Device, num_programs: int, seed: int
                     ) -> Tuple[int, int, int]:
     """Drive the cloud scheduler through a compile service and count
@@ -343,6 +395,18 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"request payload ({per_task_bytes / chunked_bytes:.1f}x fewer "
           f"bytes shipped)")
 
+    # --- cold process on a warm persistent store -----------------------
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as store_dir:
+        store = bench_cold_process_warm_store(
+            num_programs, args.seed, store_dir)
+    print(f"cold process on warm store: warm pass compiled "
+          f"{store['warm_compiled']} programs in "
+          f"{store['warm_s'] * 1e3:.1f} ms; spawned cold process "
+          f"compiled {store['cold_compiled']} "
+          f"({store['cold_promotions']} store promotions) in "
+          f"{store['cold_s'] * 1e3:.1f} ms "
+          f"({store['speedup']:.2f}x vs warm compile pass)")
+
     # --- scheduler-path structural dedup -------------------------------
     requests, compiled, unique_structural = scheduler_dedup(
         device, num_programs, args.seed)
@@ -387,11 +451,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             "unique_structural": unique_structural,
             "retranspiles": retranspiles,
         },
+        "cold_process_warm_store": store,
     }
     with open(ARTIFACT, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {ARTIFACT}")
+
+    if store["cold_compiled"] != 0:
+        print(f"FAIL: cold process on warm store compiled "
+              f"{store['cold_compiled']} programs (expected 0: every "
+              "equivalence class was already in the persistent store)",
+              file=sys.stderr)
+        return 1
+    print("OK: cold process on warm store compiled 0 programs "
+          f"({store['cold_promotions']} artifacts promoted from the "
+          "persistent store)")
 
     if retranspiles != 0:
         print(f"FAIL: {retranspiles} re-transpiles of structurally "

@@ -9,6 +9,9 @@ The package implements, from scratch:
   crosstalk model (:mod:`repro.hardware`)
 - randomized benchmarking / simultaneous RB (:mod:`repro.characterization`)
 - a noise-aware transpiler with ALAP scheduling (:mod:`repro.transpiler`)
+- a layered compile cache: in-memory LRU tiers, qubit-relabel
+  equivalence classes, and a SQLite WAL persistent store
+  (:mod:`repro.cache`)
 - the paper's contribution — QuCP crosstalk-aware parallel workload
   execution — plus the QuMC / CNA / MultiQC / QuCloud baselines
   (:mod:`repro.core`)
@@ -27,6 +30,7 @@ The package implements, from scratch:
 __version__ = "1.1.0"
 
 from . import (
+    cache,
     characterization,
     circuits,
     core,
@@ -43,6 +47,7 @@ from .service import QuantumProvider, provider
 __all__ = [
     "QuantumProvider",
     "__version__",
+    "cache",
     "characterization",
     "circuits",
     "core",

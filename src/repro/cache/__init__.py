@@ -1,0 +1,82 @@
+"""Layered compile-cache subsystem.
+
+One unified cache API over three tiers:
+
+- :mod:`~repro.cache.keys` — structural cache keys, qubit-relabel
+  equivalence-class canonicalization, and stable cross-process digests
+  (:func:`transpile_key` computes all forms in one pass);
+- :mod:`~repro.cache.memory` — :class:`MemoryCache`, the thread-safe
+  in-process LRU tier (L1) with hit/miss/eviction counters;
+- :mod:`~repro.cache.persistent` — :class:`PersistentCache`, the
+  SQLite WAL-mode on-disk tier (L2) shared across processes, with a
+  warn-once/fall-back-cold failure policy;
+- :mod:`~repro.cache.tiered` — :class:`TieredCache`, composing exact
+  L1 + equivalence-class L1 + L2 with promotion on hit.
+
+:class:`repro.core.ExecutionCache` keeps its public API and delegates
+to a :class:`TieredCache` underneath; anything implementing the
+:class:`CacheBackend` protocol can slot into the composition.
+"""
+
+from typing import Dict, Hashable, Optional, Protocol, runtime_checkable
+
+from .keys import (
+    CanonicalForm,
+    TranspileKey,
+    canonical_form,
+    circuit_key,
+    device_digest,
+    index_sensitive_transpiler,
+    invert_relabel,
+    key_digest,
+    persistent_cache_token,
+    persistent_token,
+    remap_layout,
+    remap_result,
+    transpile_key,
+)
+from .memory import MemoryCache
+from .persistent import PersistentCache
+from .tiered import TieredCache, dumps_artifact, loads_artifact
+
+__all__ = [
+    "CacheBackend",
+    "CanonicalForm",
+    "MemoryCache",
+    "PersistentCache",
+    "TieredCache",
+    "TranspileKey",
+    "canonical_form",
+    "circuit_key",
+    "device_digest",
+    "dumps_artifact",
+    "index_sensitive_transpiler",
+    "invert_relabel",
+    "key_digest",
+    "loads_artifact",
+    "persistent_cache_token",
+    "persistent_token",
+    "remap_layout",
+    "remap_result",
+    "transpile_key",
+]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What a tier must provide to slot into the composition.
+
+    ``get`` returns the stored value or ``None``; ``put`` inserts or
+    replaces; ``stats`` is a counter snapshot.  :class:`MemoryCache`
+    and :class:`PersistentCache` both satisfy this structurally.
+    """
+
+    def get(self, key: Hashable) -> Optional[object]:
+        ...  # pragma: no cover - protocol signature
+
+    def put(self, key: Hashable, value) -> None:
+        ...  # pragma: no cover - protocol signature
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        ...  # pragma: no cover - protocol signature

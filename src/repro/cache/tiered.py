@@ -1,0 +1,190 @@
+"""Tier composition: exact L1 + equivalence-class L1 + persistent L2.
+
+:class:`TieredCache` is the compile-cache subsystem's engine.  One
+lookup walks three tiers, cheapest first:
+
+1. **exact L1** — label-exact key, artifact already in the caller's
+   labeling (the historical :class:`~repro.core.ExecutionCache` path);
+2. **equivalence-class L1** — same process, same device/hook, but the
+   request's circuit is a qubit-relabeled twin of an earlier one: the
+   class representative's artifact is remapped into the request's
+   labeling and promoted into the exact L1;
+3. **persistent L2** — the cross-process store: the representative's
+   pickled artifact is deserialized, remapped, and promoted into both
+   L1 tables, so a cold process on a warm store pays one unpickle per
+   class instead of one compile per program.
+
+Stores mirror the walk downward: the exact artifact lands in L1, its
+canonical (representative-labeled) form in the class table, and — when
+the request is persistable (default transpiler or a hook with a declared
+:func:`~repro.cache.keys.persistent_cache_token`) — in the L2 store.
+
+Every artifact handed out is in the exact labeling of the request that
+asked, so callers never see a representative's labels; equivalence-class
+reuse is invisible except in the counters (``equivalence_hits``,
+``promotions``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..transpiler.transpile import TranspileResult
+from .keys import TranspileKey, invert_relabel, remap_result
+from .memory import MemoryCache
+from .persistent import PersistentCache
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..hardware.devices import Device
+
+__all__ = ["TieredCache", "dumps_artifact", "loads_artifact"]
+
+
+def dumps_artifact(result: TranspileResult) -> bytes:
+    """Serialize one artifact for the persistent store."""
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_artifact(payload: bytes) -> Optional[TranspileResult]:
+    """Deserialize a store payload; ``None`` for anything malformed.
+
+    A truncated or garbage blob must degrade to a cache miss (cold
+    compile), never to an exception in the lookup path.
+    """
+    try:
+        artifact = pickle.loads(payload)
+    except Exception:  # noqa: BLE001 - any malformed payload is a miss
+        return None
+    if not isinstance(artifact, TranspileResult):
+        return None
+    return artifact
+
+
+class TieredCache:
+    """Layered transpile-artifact cache behind one lookup/store API.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound applied to each in-memory table (``None`` unbounded,
+        ``0`` disables in-memory storage).
+    store_path:
+        Location of the persistent L2 store; ``None`` runs in-memory
+        only.  Ignored when *persistent* is given.
+    persistent:
+        An existing :class:`PersistentCache` to attach (shared stores,
+        tests).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None,
+                 store_path: Optional[str] = None,
+                 persistent: Optional[PersistentCache] = None) -> None:
+        self.l1 = MemoryCache(max_entries)
+        self.l1_classes = MemoryCache(max_entries)
+        if persistent is None and store_path is not None:
+            persistent = PersistentCache(store_path)
+        self.l2 = persistent
+        self._lock = threading.Lock()
+        self.equivalence_hits = 0
+        self.promotions = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: TranspileKey, device: "Device",
+               transpiler_fn) -> Optional[TranspileResult]:
+        """The cached artifact in *key*'s exact labeling, or ``None``.
+
+        Values are shared (do not mutate) — the caller freshens before
+        handing them to anything that may.  Device/hook identity is
+        re-checked against the stored strong references, so a recycled
+        ``id()`` can never alias a different object.
+        """
+        entry = self.l1.get(key.exact)
+        if (entry is not None and entry[0] is device
+                and entry[1] is transpiler_fn):
+            return entry[2]
+        if key.canonical is None:
+            return None
+        entry = self.l1_classes.get(key.canonical)
+        if (entry is not None and entry[0] is device
+                and entry[1] is transpiler_fn):
+            result = self._to_request_labeling(entry[2], key)
+            self.l1.put(key.exact, (device, transpiler_fn, result))
+            with self._lock:
+                self.equivalence_hits += 1
+            return result
+        if self.l2 is None or key.digest is None:
+            return None
+        payload = self.l2.get(key.digest)
+        if payload is None:
+            return None
+        canonical = loads_artifact(payload)
+        if canonical is None:
+            # Row-level corruption: drop the entry so the next writer
+            # replaces it, and treat this request as a plain miss.
+            with self._lock:
+                self.decode_errors += 1
+            self.l2.delete(key.digest)
+            return None
+        self.l1_classes.put(key.canonical,
+                            (device, transpiler_fn, canonical))
+        result = self._to_request_labeling(canonical, key)
+        self.l1.put(key.exact, (device, transpiler_fn, result))
+        with self._lock:
+            self.promotions += 1
+        return result
+
+    def store(self, key: TranspileKey, device: "Device", transpiler_fn,
+              result: TranspileResult) -> None:
+        """Publish one computed artifact into every applicable tier."""
+        self.l1.put(key.exact, (device, transpiler_fn, result))
+        if key.canonical is None:
+            return
+        canonical = remap_result(result, key.relabel)
+        self.l1_classes.put(key.canonical,
+                            (device, transpiler_fn, canonical))
+        if self.l2 is not None and key.digest is not None:
+            self.l2.put(key.digest, dumps_artifact(canonical),
+                        key.invariants or "")
+
+    @staticmethod
+    def _to_request_labeling(canonical: TranspileResult,
+                             key: TranspileKey) -> TranspileResult:
+        """Representative artifact -> the request's own qubit labels."""
+        if key.relabel is None:
+            return canonical
+        return remap_result(canonical, invert_relabel(key.relabel))
+
+    # ------------------------------------------------------------------
+    def clear(self, persistent: bool = False) -> None:
+        """Drop the in-memory tiers (and, optionally, the L2 store)."""
+        self.l1.clear()
+        self.l1_classes.clear()
+        if persistent and self.l2 is not None:
+            self.l2.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cross-tier counter snapshot.
+
+        ``evictions`` sums both in-memory tables; the ``persistent_*``
+        entries are zero when no L2 store is attached.
+        """
+        l2 = self.l2.stats if self.l2 is not None else {}
+        return {
+            "evictions": self.l1.evictions + self.l1_classes.evictions,
+            "equivalence_hits": self.equivalence_hits,
+            "promotions": self.promotions,
+            "decode_errors": self.decode_errors,
+            "persistent_hits": l2.get("hits", 0),
+            "persistent_misses": l2.get("misses", 0),
+            "persistent_writes": l2.get("writes", 0),
+            "persistent_errors": l2.get("errors", 0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        l2 = "none" if self.l2 is None else repr(self.l2.path)
+        return (f"<TieredCache l1={len(self.l1)} "
+                f"classes={len(self.l1_classes)} l2={l2}>")

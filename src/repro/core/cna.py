@@ -59,7 +59,7 @@ class CnaCompilation:
         position*, so the lookup genuinely observes ``alloc.index`` and
         must be cached index-sensitively.
         """
-        from .executor import index_sensitive_transpiler
+        from ..cache import index_sensitive_transpiler
 
         @index_sensitive_transpiler
         def lookup(circuit: QuantumCircuit, device: Device,

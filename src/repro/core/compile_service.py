@@ -43,6 +43,14 @@ from concurrent.futures import (
 )
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..cache import (
+    PersistentCache,
+    canonical_form,
+    dumps_artifact,
+    invert_relabel,
+    loads_artifact,
+    remap_result,
+)
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..hardware.topology import CouplingMap
@@ -99,23 +107,63 @@ def _rehydrate_context(spec: Dict):
     return device_context(coupling, spec["calibration"])
 
 
+#: Process-local persistent-store connections, one per path: every
+#: chunk a worker serves reuses its open WAL connection.
+_WORKER_STORES: Dict[str, PersistentCache] = {}
+
+
+def _worker_store(path: str) -> PersistentCache:
+    """This worker process's connection to the store at *path*."""
+    store = _WORKER_STORES.get(path)
+    if store is None:
+        store = PersistentCache(path)
+        _WORKER_STORES[path] = store
+    return store
+
+
 def _compile_partition_chunk(
     spec: Dict,
-    tasks: Sequence[Tuple[QuantumCircuit, Tuple[int, ...]]],
+    tasks: Sequence[Tuple[QuantumCircuit, Tuple[int, ...],
+                          Optional[str], Optional[str]]],
+    store_path: Optional[str] = None,
 ) -> List[TranspileResult]:
-    """Compile one shard of (circuit, partition) tasks in a worker.
+    """Compile one shard of (circuit, partition, digest, invariants)
+    tasks in a worker.
 
     Mirrors :func:`~repro.core.executor._default_transpiler`
     (``optimization_level=3, schedule=True``) on the rehydrated
-    context's memoized partition sub-contexts.
+    context's memoized partition sub-contexts.  With a *store_path*,
+    the worker checks the shared persistent store before compiling —
+    another process (or an earlier run) may already have published the
+    equivalence class — and publishes what it compiles, so concurrent
+    fleet workers race benignly on the same WAL store.  Results are
+    always returned in each task's own qubit labeling.
     """
     context = _rehydrate_context(spec)
+    store = _worker_store(store_path) if store_path else None
     results: List[TranspileResult] = []
-    for circuit, partition in tasks:
+    for circuit, partition, digest, invariants in tasks:
+        relabel = None
+        if store is not None and digest is not None:
+            form = canonical_form(circuit)
+            relabel = None if form is None else form.relabel
+            payload = store.get(digest)
+            if payload is not None:
+                canonical = loads_artifact(payload)
+                if canonical is not None:
+                    results.append(
+                        canonical if relabel is None else
+                        remap_result(canonical, invert_relabel(relabel)))
+                    continue
+                store.delete(digest)
         sub = context.partition_context(tuple(int(q) for q in partition))
-        results.append(transpile(
+        result = transpile(
             circuit, sub.coupling, sub.calibration,
-            optimization_level=3, schedule=True, context=sub))
+            optimization_level=3, schedule=True, context=sub)
+        if store is not None and digest is not None:
+            store.put(digest, dumps_artifact(remap_result(result, relabel)),
+                      invariants or "")
+        results.append(result)
     return results
 
 
@@ -158,14 +206,30 @@ class CompileService:
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, Future] = {}
-        #: Request accounting: ``submitted`` tasks actually handed to a
-        #: worker, ``coalesced`` requests that joined an in-flight task,
-        #: ``short_circuits`` requests answered straight from the cache,
-        #: ``chunks`` process-pool shards shipped, ``fallbacks``
-        #: requests compiled inline after a broken/shut-down pool.
-        self.stats: Dict[str, int] = {
+        # Request accounting: ``submitted`` tasks actually handed to a
+        # worker, ``coalesced`` requests that joined an in-flight task,
+        # ``short_circuits`` requests answered straight from the cache,
+        # ``chunks`` process-pool shards shipped, ``fallbacks``
+        # requests compiled inline after a broken/shut-down pool.
+        self._requests: Dict[str, int] = {
             "submitted": 0, "coalesced": 0, "short_circuits": 0,
             "chunks": 0, "fallbacks": 0}
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Request accounting merged with the cache's tier counters.
+
+        Request side: ``submitted`` (tasks actually handed to a worker),
+        ``coalesced`` (requests that joined an in-flight task),
+        ``short_circuits`` (answered straight from the cache),
+        ``chunks`` (process-pool shards shipped), ``fallbacks``
+        (compiled inline after a broken/shut-down pool).  Cache side:
+        see :attr:`ExecutionCache.stats` (hits/misses, evictions,
+        equivalence hits, promotions, ``persistent_*``).
+        """
+        merged = dict(self._requests)
+        merged.update(self.cache.stats)
+        return merged
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -279,19 +343,19 @@ class CompileService:
         """
         found = self.cache.lookup_transpile_raw(key, device, fn)
         if found is not None:
-            self.stats["short_circuits"] += 1
+            self._requests["short_circuits"] += 1
             done: Future = Future()
             done.set_result(found)
             return done, None
         if key is not None:
             inflight = self._inflight.get(key)
             if inflight is not None:
-                self.stats["coalesced"] += 1
+                self._requests["coalesced"] += 1
                 return inflight, None
         out: Future = Future()
         if key is not None:
             self._inflight[key] = out
-        self.stats["submitted"] += 1
+        self._requests["submitted"] += 1
         return None, out
 
     def transpile(self, circuit: QuantumCircuit, device: Device,
@@ -357,6 +421,11 @@ class CompileService:
 
         pool = self._process_executor()
         spec = _device_fingerprint_spec(device)
+        # Workers open their own connection to the shared WAL store (if
+        # one is attached and healthy) and dedup against it before
+        # compiling, so a warm store short-circuits even process chunks.
+        l2 = self.cache.persistent
+        store_path = (None if l2 is None or l2.disabled else l2.path)
         workers = (self._max_workers or os.cpu_count() or 1)
         n_chunks = max(1, min(len(todo), workers))
         bounds = [round(i * len(todo) / n_chunks)
@@ -367,15 +436,18 @@ class CompileService:
                 shard = todo[lo:hi]
                 if not shard:
                     continue
-                tasks = [(alloc.circuit, alloc.partition)
-                         for _, alloc, _ in shard]
-                raw = pool.submit(_compile_partition_chunk, spec, tasks)
+                tasks = [(alloc.circuit, alloc.partition,
+                          None if key is None else key.digest,
+                          None if key is None else key.invariants)
+                         for key, alloc, _ in shard]
+                raw = pool.submit(_compile_partition_chunk, spec, tasks,
+                                  store_path)
                 submitted_upto = hi
                 raw.add_done_callback(
                     lambda f, shard=shard: self._publish_chunk(
                         f, shard, device, fn, pool))
                 with self._lock:
-                    self.stats["chunks"] += 1
+                    self._requests["chunks"] += 1
         except BaseException as exc:  # noqa: BLE001
             rest = todo[submitted_upto:]
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -415,7 +487,7 @@ class CompileService:
         fn = _default_transpiler
         dead = None
         with self._lock:
-            self.stats["fallbacks"] += len(shard)
+            self._requests["fallbacks"] += len(shard)
             if pool is not None and self._process_pool is pool:
                 dead, self._process_pool = pool, None
         if dead is not None:

@@ -16,7 +16,7 @@ Two entry points:
 
 from __future__ import annotations
 
-import threading
+import os
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -25,13 +25,23 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Tuple,
     Union,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .compile_service import CompileService
 
+from ..cache import (
+    MemoryCache,
+    PersistentCache,
+    TieredCache,
+    TranspileKey,
+    canonical_form,
+    circuit_key,
+    index_sensitive_transpiler,
+    persistent_cache_token,
+)
+from ..cache import transpile_key as compute_transpile_key
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.devices import Device
 from ..sim.density_matrix import SimulationResult
@@ -50,24 +60,8 @@ __all__ = ["ExecutionOutcome", "execute_allocation", "TranspilerFn",
 TranspilerFn = Callable[[QuantumCircuit, Device, ProgramAllocation],
                         TranspileResult]
 
-#: Attribute marking a transpiler hook whose output depends on
-#: ``ProgramAllocation.index`` (see :func:`index_sensitive_transpiler`).
-_INDEX_SENSITIVE_ATTR = "_observes_allocation_index"
-
-
-def index_sensitive_transpiler(fn: TranspilerFn) -> TranspilerFn:
-    """Mark *fn* as observing ``ProgramAllocation.index``.
-
-    The default :meth:`ExecutionCache.transpile_key` is *structural*: it
-    covers the circuit, partition, EFS, and crosstalk pairs but not the
-    queue index, so identical programs submitted at different queue
-    positions dedup into one cache entry.  A hook whose result genuinely
-    depends on the index (e.g. CNA's precompiled-lookup adapter) must be
-    wrapped with this decorator; its entries are then keyed
-    index-sensitively and never alias across queue positions.
-    """
-    setattr(fn, _INDEX_SENSITIVE_ATTR, True)
-    return fn
+#: Compat shim — the key helpers live in :mod:`repro.cache.keys` now.
+_circuit_key = circuit_key
 
 
 @dataclass
@@ -117,78 +111,112 @@ class ExecutionOutcome:
         }
 
 
+# The token versions the persistent store's entries for this pipeline:
+# bump it whenever the default pipeline's output would change, so stale
+# artifacts from older builds miss instead of being reused.
+@persistent_cache_token("default-O3-alap-sched/v1")
 def _default_transpiler(circuit: QuantumCircuit, device: Device,
                         allocation: ProgramAllocation) -> TranspileResult:
     return transpile_for_partition(circuit, device, allocation.partition,
                                    optimization_level=3, schedule=True)
 
 
-def _circuit_key(circuit: QuantumCircuit) -> Optional[Tuple]:
-    """Structural fingerprint of a circuit, or None when unhashable.
+#: Default LRU bound on each in-memory cache table — generous for
+#: figure-sized sweeps, finite for long-lived services (entries pin
+#: their keyed devices and results alive).
+_DEFAULT_MAX_ENTRIES = 4096
 
-    Circuits are compared by value, not identity, so two benchmark combos
-    that instantiate the same workload twice share cache entries.
-    Unbound symbolic parameters may be unhashable; those circuits simply
-    bypass the cache.
-    """
-    key = (
-        circuit.num_qubits,
-        circuit.num_clbits,
-        tuple((inst.name, inst.params, inst.qubits, inst.clbits)
-              for inst in circuit),
-    )
+#: Environment override for the default bound: a non-negative integer
+#: caps each table, a negative value removes the bound entirely.
+_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+_UNSET = object()
+
+
+def _default_max_entries() -> Optional[int]:
+    """The in-memory bound when the caller did not pass one."""
+    raw = os.environ.get(_MAX_ENTRIES_ENV)
+    if raw is None:
+        return _DEFAULT_MAX_ENTRIES
     try:
-        hash(key)
-    except TypeError:
-        return None
-    return key
+        value = int(raw)
+    except ValueError:
+        return _DEFAULT_MAX_ENTRIES
+    return None if value < 0 else value
 
 
 class ExecutionCache:
     """Cross-job memoization of transpilation and ideal distributions.
 
-    Keyed on circuit *structure* plus placement, so repeated programs in a
-    sweep amortize the expensive steps.  Hit/miss counters are exposed for
-    tests and benchmark reporting.  *max_entries* bounds each internal
-    table (oldest entry evicted first); the default ``None`` is unbounded,
-    which is fine for figure-sized sweeps but should be set for long-lived
-    service caches (entries pin their keyed devices and results alive).
+    A façade over the layered :mod:`repro.cache` subsystem: lookups walk
+    an exact-key in-memory tier, an equivalence-class tier (circuits
+    differing only by a qubit relabeling reuse one compiled artifact,
+    layouts remapped), and — when *store_path* points at a store — a
+    SQLite WAL persistent tier shared across processes, so a cold
+    process on a warm store skips compilation entirely.
+
+    Keyed on circuit *structure* plus placement, so repeated programs in
+    a sweep amortize the expensive steps.  Hit/miss counters are exposed
+    for tests and benchmark reporting (see :attr:`stats` for the full
+    cross-tier snapshot).  *max_entries* LRU-bounds each in-memory table;
+    when omitted it defaults to a generous cap (4096, overridable via
+    ``REPRO_CACHE_MAX_ENTRIES``; negative = unbounded), and an explicit
+    ``None`` is unbounded.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        # Values keep strong references to the keyed device/transpiler so
-        # their id()s cannot be recycled onto different objects while an
-        # entry is alive.
-        self._transpile: Dict[Tuple, Tuple[Device, TranspilerFn,
-                                           TranspileResult]] = {}
-        self._ideal: Dict[Tuple, Dict[str, float]] = {}
-        # Guards the compound evict+insert in _store: CompileService
-        # worker callbacks publish concurrently, and two threads in the
-        # eviction path could otherwise pop the same head key.
-        self._store_lock = threading.Lock()
+    def __init__(self, max_entries=_UNSET,
+                 store_path: Optional[str] = None,
+                 persistent: Optional[PersistentCache] = None) -> None:
+        if max_entries is _UNSET:
+            max_entries = _default_max_entries()
         self.max_entries = max_entries
+        # In-memory values keep strong references to the keyed
+        # device/transpiler so their id()s cannot be recycled onto
+        # different objects while an entry is alive.
+        self.tiers = TieredCache(max_entries=max_entries,
+                                 store_path=store_path,
+                                 persistent=persistent)
+        self._ideal_table = MemoryCache(max_entries)
         self.transpile_hits = 0
         self.transpile_misses = 0
         self.ideal_hits = 0
         self.ideal_misses = 0
 
-    def clear(self) -> None:
-        """Drop all cached entries (counters are kept)."""
-        self._transpile.clear()
-        self._ideal.clear()
+    # -- compat aliases (tests/benchmarks poke the table sizes) --------
+    @property
+    def _transpile(self) -> MemoryCache:
+        """The exact-key in-memory tier (supports ``len``/``in``)."""
+        return self.tiers.l1
 
-    def _store(self, table: Dict, key: Tuple, value) -> None:
-        with self._store_lock:
-            if self.max_entries is not None:
-                if self.max_entries <= 0:
-                    return  # max_entries=0 disables caching entirely
-                while len(table) >= self.max_entries:
-                    table.pop(next(iter(table)))
-            table[key] = value
+    @property
+    def _ideal(self) -> MemoryCache:
+        """The ideal-distribution table (supports ``len``/``in``)."""
+        return self._ideal_table
+
+    @property
+    def persistent(self) -> Optional[PersistentCache]:
+        """The attached persistent store, or ``None``."""
+        return self.tiers.l2
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Path of the attached persistent store, or ``None``."""
+        l2 = self.tiers.l2
+        return None if l2 is None else l2.path
+
+    def clear(self, persistent: bool = False) -> None:
+        """Drop the in-memory entries (counters are kept).
+
+        The shared on-disk store is only touched when *persistent* is
+        true — it outlives this process by design.
+        """
+        self.tiers.clear(persistent=persistent)
+        self._ideal_table.clear()
 
     def transpile_key(self, circuit: QuantumCircuit, device: Device,
                       allocation: ProgramAllocation,
-                      transpiler_fn: TranspilerFn) -> Optional[Tuple]:
+                      transpiler_fn: TranspilerFn
+                      ) -> Optional[TranspileKey]:
         """Cache key of one transpile request, or ``None`` (unhashable).
 
         The default key is *structural*: circuit structure, placement
@@ -197,19 +225,16 @@ class ExecutionCache:
         at different queue positions share one entry across
         submissions.  Hooks that actually observe the index (marked via
         :func:`index_sensitive_transpiler`) get the index folded back
-        in, keeping their entries position-exact.
+        in, keeping their entries position-exact.  The returned
+        :class:`~repro.cache.TranspileKey` hashes/compares by its exact
+        form and additionally carries the equivalence-class and
+        persistent-store forms consumed by the deeper tiers.
         """
-        ckey = _circuit_key(circuit)
-        if ckey is None:
-            return None
-        index = (allocation.index
-                 if getattr(transpiler_fn, _INDEX_SENSITIVE_ATTR, False)
-                 else None)
-        return (ckey, index, allocation.partition,
-                allocation.efs, allocation.crosstalk_pairs,
-                id(device), id(transpiler_fn))
+        return compute_transpile_key(circuit, device, allocation,
+                                     transpiler_fn)
 
-    def lookup_transpile_raw(self, key: Optional[Tuple], device: Device,
+    def lookup_transpile_raw(self, key: Optional[TranspileKey],
+                             device: Device,
                              transpiler_fn: TranspilerFn
                              ) -> Optional[TranspileResult]:
         """Cached *raw* (shared, do-not-mutate) result for a
@@ -217,27 +242,30 @@ class ExecutionCache:
 
         Key-based so the service's hot path computes the circuit
         fingerprint once per request; apply :meth:`_fresh` before
-        handing the result to anything that may mutate it.
+        handing the result to anything that may mutate it.  The result
+        is always in the request's own qubit labeling, whichever tier
+        served it.
         """
-        cached = None if key is None else self._transpile.get(key)
-        if cached is not None and cached[0] is device \
-                and cached[1] is transpiler_fn:
+        found = None if key is None else self.tiers.lookup(
+            key, device, transpiler_fn)
+        if found is not None:
             self.transpile_hits += 1
-            return cached[2]
+            return found
         self.transpile_misses += 1
         return None
 
-    def store_transpile_raw(self, key: Optional[Tuple], device: Device,
+    def store_transpile_raw(self, key: Optional[TranspileKey],
+                            device: Device,
                             transpiler_fn: TranspilerFn,
                             result: TranspileResult) -> None:
         """Insert a computed result under a precomputed key (no-op for
         ``None`` keys).  Used by
         :class:`~repro.core.compile_service.CompileService` workers to
-        publish results back into the shared cache.
+        publish results back into the shared cache; publication fans out
+        to every applicable tier (exact, equivalence-class, persistent).
         """
         if key is not None:
-            self._store(self._transpile, key,
-                        (device, transpiler_fn, result))
+            self.tiers.store(key, device, transpiler_fn, result)
 
     def lookup_transpile(self, circuit: QuantumCircuit, device: Device,
                          allocation: ProgramAllocation,
@@ -286,22 +314,44 @@ class ExecutionCache:
     def ideal(self, circuit: QuantumCircuit) -> Dict[str, float]:
         """Ideal (noiseless) output distribution through the cache.
 
+        Keyed by the circuit's *canonical* form: relabeling the qubit
+        register permutes the state but not the measured clbits, so
+        every member of an equivalence class shares one distribution.
         Returns a fresh dict each call — outcomes must not alias one
         shared mutable distribution, or a caller mutating its copy would
         corrupt the cache and every sibling outcome.
         """
-        ckey = _circuit_key(circuit)
-        if ckey is None:
+        form = canonical_form(circuit)
+        if form is None:
             self.ideal_misses += 1
             return ideal_probabilities(circuit)
-        cached = self._ideal.get(ckey)
+        cached = self._ideal_table.get(form.key)
         if cached is not None:
             self.ideal_hits += 1
             return dict(cached)
         self.ideal_misses += 1
         result = ideal_probabilities(circuit)
-        self._store(self._ideal, ckey, result)
+        self._ideal_table.put(form.key, result)
         return dict(result)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cross-tier counter snapshot (plain ints, JSON-safe).
+
+        Transpile/ideal hit-miss counters plus the tier internals:
+        ``evictions`` (all in-memory tables), ``equivalence_hits``,
+        ``promotions`` (store -> memory), and the ``persistent_*``
+        counters (zero without an attached store).
+        """
+        merged = self.tiers.stats
+        merged["evictions"] += self._ideal_table.evictions
+        merged.update(
+            transpile_hits=self.transpile_hits,
+            transpile_misses=self.transpile_misses,
+            ideal_hits=self.ideal_hits,
+            ideal_misses=self.ideal_misses,
+        )
+        return merged
 
 
 def _resolve_service_cache(cache, compile_service):

@@ -231,7 +231,12 @@ class CloudScheduler:
         service's cache, ready for cache-hit execution.  Cache keys are
         structural, so a program resubmitted at a different queue index
         (or by a different user) re-uses the earlier compile instead of
-        re-transpiling.
+        re-transpiling.  Dispatch-time submissions dedup through every
+        cache tier: a qubit-relabeled twin of an earlier program reuses
+        its equivalence class's artifact, and with a persistent store
+        attached (``QuantumProvider(cache_path=...)``) batches dedup
+        against artifacts compiled by *other processes* — a cold
+        scheduler on a warm store dispatches without compiling at all.
     """
 
     def __init__(

@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Dict,
     List,
     Optional,
     Sequence,
@@ -165,9 +166,19 @@ class BaseBackend(ABC):
         return resolve_allocator(allocator, sigma,
                                  require_incremental=require_incremental)
 
-    def _metadata_counters(self) -> Tuple[int, int]:
-        cache = self._provider.cache
-        return cache.transpile_hits, cache.transpile_misses
+    #: Shared-cache counters snapshotted around each run; their deltas
+    #: land in :class:`~repro.service.RunMetadata`.
+    _METADATA_COUNTERS = ("transpile_hits", "transpile_misses",
+                          "evictions", "promotions")
+
+    def _metadata_counters(self) -> Dict[str, int]:
+        stats = self._provider.cache.stats
+        return {k: stats[k] for k in self._METADATA_COUNTERS}
+
+    @staticmethod
+    def _counter_deltas(before: Dict[str, int],
+                        after: Dict[str, int]) -> Dict[str, int]:
+        return {k: after[k] - before[k] for k in before}
 
     def __repr__(self) -> str:
         targets = ", ".join(d.name for d in self.devices)
@@ -247,7 +258,7 @@ class SimulatorBackend(BaseBackend):
         def execute(job_id: str) -> Result:
             alloc = (allocation if allocation is not None
                      else chosen.allocate(to_allocate, self._device))
-            hits0, misses0 = self._metadata_counters()
+            before = self._metadata_counters()
             outcomes = execute_allocation(
                 alloc,
                 shots=cfg.shots,
@@ -257,9 +268,10 @@ class SimulatorBackend(BaseBackend):
                 include_crosstalk=cfg.include_crosstalk,
                 compile_service=self._provider.compile_service,
             )
-            hits1, misses1 = self._metadata_counters()
+            deltas = self._counter_deltas(before,
+                                          self._metadata_counters())
             return self._build_result(job_id, alloc, outcomes, cfg.shots,
-                                      hits1 - hits0, misses1 - misses0)
+                                      deltas)
 
         return self._provider._submit_job(self, execute)
 
@@ -304,7 +316,7 @@ class SimulatorBackend(BaseBackend):
     # ------------------------------------------------------------------
     def _build_result(self, job_id: str, allocation: AllocationResult,
                       outcomes: List[ExecutionOutcome], shots: int,
-                      hits: int, misses: int) -> Result:
+                      deltas: Dict[str, int]) -> Result:
         metadata = RunMetadata(
             job_id=job_id,
             backend_name=self._name,
@@ -313,8 +325,10 @@ class SimulatorBackend(BaseBackend):
             num_programs=len(allocation.allocations),
             num_hardware_jobs=1,
             throughput=allocation.throughput(),
-            transpile_hits=hits,
-            transpile_misses=misses,
+            transpile_hits=deltas["transpile_hits"],
+            transpile_misses=deltas["transpile_misses"],
+            cache_evictions=deltas["evictions"],
+            cache_promotions=deltas["promotions"],
         )
         programs = build_program_results([outcomes], [self._device.name])
         return Result(metadata=metadata, programs=programs,
@@ -404,7 +418,7 @@ class CloudBackend(BaseBackend):
         def serve(job_id: str) -> Result:
             scheduler = self.scheduler(chosen,
                                        with_compile_service=prefetch)
-            hits0, misses0 = self._metadata_counters()
+            before = self._metadata_counters()
             outcome = scheduler.schedule(subs)
             outcomes: List[List[ExecutionOutcome]] = []
             if execute:
@@ -424,10 +438,10 @@ class CloudBackend(BaseBackend):
                             else None),
                         cache=(None if prefetch
                                else self._provider.cache))
-            hits1, misses1 = self._metadata_counters()
+            deltas = self._counter_deltas(before,
+                                          self._metadata_counters())
             return self._build_result(job_id, subs, outcome, outcomes,
-                                      cfg.shots, hits1 - hits0,
-                                      misses1 - misses0)
+                                      cfg.shots, deltas)
 
         return self._provider._submit_job(self, serve)
 
@@ -454,7 +468,7 @@ class CloudBackend(BaseBackend):
     def _build_result(self, job_id: str, subs: List[SubmittedProgram],
                       outcome: ScheduleOutcome,
                       outcomes: List[List[ExecutionOutcome]],
-                      shots: int, hits: int, misses: int) -> Result:
+                      shots: int, deltas: Dict[str, int]) -> Result:
         throughputs = [job.allocation.throughput() for job in outcome.jobs]
         turnarounds = outcome.turnaround_ns(subs)
         method = (outcome.jobs[0].allocation.method if outcome.jobs
@@ -472,8 +486,10 @@ class CloudBackend(BaseBackend):
             mean_turnaround_ns=json_safe_num(outcome.mean_turnaround_ns),
             rejected=tuple(outcome.rejected),
             compile_requests=outcome.compile_requests,
-            transpile_hits=hits,
-            transpile_misses=misses,
+            transpile_hits=deltas["transpile_hits"],
+            transpile_misses=deltas["transpile_misses"],
+            cache_evictions=deltas["evictions"],
+            cache_promotions=deltas["promotions"],
         )
         device_names = [job.device_name for job in outcome.jobs]
         programs = build_program_results(outcomes, device_names,

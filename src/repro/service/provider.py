@@ -26,13 +26,14 @@ Most callers want the module-level :func:`provider` accessor::
 from __future__ import annotations
 
 import difflib
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.compile_service import CompileService
-from ..core.executor import ExecutionCache
+from ..core.executor import _UNSET, ExecutionCache
 from ..hardware.devices import (
     Device,
     ibm_manhattan,
@@ -86,6 +87,9 @@ _BUILTIN_DEVICES: Dict[str, Callable[[], Device]] = {
 #: Anything a backend target may be specified as.
 DeviceLike = Union[str, Device]
 
+#: Environment variable supplying the default persistent-store path.
+_CACHE_PATH_ENV = "REPRO_CACHE_PATH"
+
 
 class QuantumProvider:
     """Entry point of the service facade.
@@ -102,8 +106,16 @@ class QuantumProvider:
     compile_workers:
         Compile pool size (``None`` = executor default).
     cache_entries:
-        Bound on the shared :class:`ExecutionCache` tables (``None`` =
-        unbounded; set for long-lived services).
+        LRU bound on the shared :class:`ExecutionCache`'s in-memory
+        tables.  When omitted, a generous default cap applies (4096,
+        overridable via ``REPRO_CACHE_MAX_ENTRIES``); an explicit
+        ``None`` is unbounded.
+    cache_path:
+        Location of a persistent on-disk compile-artifact store (SQLite
+        WAL, shared across processes): compiled equivalence classes
+        survive provider restarts and dedup across concurrent
+        providers.  When omitted, the ``REPRO_CACHE_PATH`` environment
+        variable is consulted; unset means in-memory caching only.
     job_workers:
         Job pool width.  Defaults to 1: jobs are GIL-bound numpy work,
         so the pool buys *asynchrony* (``run`` never blocks the caller)
@@ -124,7 +136,8 @@ class QuantumProvider:
         devices: Sequence[Device] = (),
         compile_mode: str = "auto",
         compile_workers: Optional[int] = None,
-        cache_entries: Optional[int] = None,
+        cache_entries=_UNSET,
+        cache_path: Optional[str] = None,
         job_workers: int = 1,
         job_history: Optional[int] = None,
     ) -> None:
@@ -139,7 +152,10 @@ class QuantumProvider:
         self._devices: "OrderedDict[str, Device]" = OrderedDict()
         for device in devices:
             self.add_device(device)
-        self.cache = ExecutionCache(max_entries=cache_entries)
+        if cache_path is None:
+            cache_path = os.environ.get(_CACHE_PATH_ENV) or None
+        self.cache = ExecutionCache(max_entries=cache_entries,
+                                    store_path=cache_path)
         self.compile_service = CompileService(
             max_workers=compile_workers, mode=compile_mode,
             cache=self.cache)
@@ -308,6 +324,21 @@ class QuantumProvider:
             for jid in done:
                 del self._jobs[jid]
         return len(done)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Snapshot of the shared compile-cache/service counters.
+
+        Request accounting (submitted/coalesced/short-circuits) merged
+        with the cache tiers' hit/miss/eviction/promotion counters —
+        see :attr:`repro.core.CompileService.stats`.
+        """
+        return dict(self.compile_service.stats)
+
+    @property
+    def cache_path(self) -> Optional[str]:
+        """Path of the attached persistent store, or ``None``."""
+        return self.cache.store_path
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -103,6 +103,11 @@ class RunMetadata:
     #: other's windows, so treat them as indicative only.
     transpile_hits: int = 0
     transpile_misses: int = 0
+    #: In-memory cache entries LRU-evicted during the window.
+    cache_evictions: int = 0
+    #: Artifacts promoted from the persistent store into memory during
+    #: the window (0 unless the provider attached a ``cache_path``).
+    cache_promotions: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (NaN timings become ``None``)."""
@@ -120,6 +125,8 @@ class RunMetadata:
             "compile_requests": int(self.compile_requests),
             "transpile_hits": int(self.transpile_hits),
             "transpile_misses": int(self.transpile_misses),
+            "cache_evictions": int(self.cache_evictions),
+            "cache_promotions": int(self.cache_promotions),
         }
 
 

@@ -1,0 +1,228 @@
+"""Equivalence-class cache keys: qubit-relabel canonicalization, the
+randomized proof that reused artifacts are execution-identical, and the
+provider-level persistent-store integration (cache_path, RunMetadata
+counters)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    canonical_form,
+    circuit_key,
+    invert_relabel,
+    remap_layout,
+    transpile_key,
+)
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import ExecutionCache, qucp_allocate
+from repro.core.executor import _default_transpiler
+from repro.service import QuantumProvider
+from repro.sim import ideal_probabilities
+from repro.transpiler import Layout
+from repro.workloads import workload
+
+
+def _measured(circuit):
+    out = circuit.copy()
+    if not any(i.name == "measure" for i in out):
+        out.num_clbits = max(out.num_clbits, out.num_qubits)
+        out.measure_all()
+    return out
+
+
+def _permuted(circuit, perm):
+    """*circuit* with logical qubit ``q`` renamed to ``perm[q]``
+    (clbits untouched, so the measured distribution is preserved)."""
+    return circuit.remapped({q: perm[q]
+                             for q in range(circuit.num_qubits)})
+
+
+class TestCanonicalForm:
+    def test_first_appearance_order_is_identity_for_ordered_circuit(self):
+        qc = QuantumCircuit(3, 3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        form = canonical_form(qc)
+        assert form.relabel is None
+        assert form.key == form.exact_key
+        assert form.exact_key == circuit_key(qc)
+
+    def test_permuted_twins_share_one_canonical_form(self):
+        qc = QuantumCircuit(3, 3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        twin = _permuted(qc, (2, 0, 1))
+        f0, f1 = canonical_form(qc), canonical_form(twin)
+        assert f0.exact_key != f1.exact_key
+        assert f0.key == f1.key
+        assert f0.invariants == f1.invariants
+        assert f1.relabel is not None
+
+    def test_different_circuits_stay_distinct(self):
+        a = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        b = QuantumCircuit(2, 2).h(0).cz(0, 1).measure_all()
+        assert canonical_form(a).key != canonical_form(b).key
+
+    def test_unused_qubits_keep_relative_order(self):
+        # Only qubit 2 is touched; 0 and 1 trail in original order.
+        qc = QuantumCircuit(3, 1).h(2).measure(2, 0)
+        form = canonical_form(qc)
+        assert form.relabel == (1, 2, 0)
+        assert invert_relabel(form.relabel) == (2, 0, 1)
+
+    def test_relabel_roundtrip_on_layouts(self):
+        layout = Layout({0: 5, 1: 9, 2: 3})
+        relabel = (2, 0, 1)
+        there = remap_layout(layout, relabel)
+        back = remap_layout(there, invert_relabel(relabel))
+        assert back.as_dict() == layout.as_dict()
+
+    def test_randomized_canonical_key_is_permutation_invariant(self):
+        rng = np.random.default_rng(11)
+        for seed in range(8):
+            qc = _measured(random_circuit(4, 8, seed=seed))
+            perm = tuple(int(p) for p in rng.permutation(qc.num_qubits))
+            twin = _permuted(qc, perm)
+            assert canonical_form(qc).key == canonical_form(twin).key
+
+
+class TestEquivalenceReuse:
+    """Reusing a representative's artifact for a relabeled twin must be
+    invisible in execution: identical noiseless distributions, layouts
+    consistently remapped."""
+
+    def _alloc_pair(self, device, circuit, perm):
+        base = qucp_allocate([circuit], device).allocations[0]
+        twin = dataclasses.replace(base, circuit=_permuted(
+            circuit, perm))
+        return base, twin
+
+    def test_twin_hits_equivalence_tier(self, toronto):
+        cache = ExecutionCache()
+        qc = _measured(random_circuit(3, 8, seed=2))
+        base, twin = self._alloc_pair(toronto, qc, (1, 2, 0))
+        cache.transpile(base.circuit, toronto, base, _default_transpiler)
+        assert cache.transpile_misses == 1
+        cache.transpile(twin.circuit, toronto, twin, _default_transpiler)
+        assert cache.transpile_misses == 1
+        assert cache.stats["equivalence_hits"] == 1
+
+    def test_index_sensitive_hooks_never_alias_classes(self, toronto):
+        from repro.core import index_sensitive_transpiler
+
+        @index_sensitive_transpiler
+        def hook(circuit, device, allocation):
+            return _default_transpiler(circuit, device, allocation)
+
+        qc = _measured(random_circuit(3, 8, seed=3))
+        base, twin = self._alloc_pair(toronto, qc, (1, 2, 0))
+        key = transpile_key(base.circuit, toronto, base, hook)
+        assert key.canonical is None and key.digest is None
+        cache = ExecutionCache()
+        cache.transpile(base.circuit, toronto, base, hook)
+        cache.transpile(twin.circuit, toronto, twin, hook)
+        assert cache.stats["equivalence_hits"] == 0
+        assert cache.transpile_misses == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_reuse_is_execution_identical(self, toronto, seed):
+        rng = np.random.default_rng(100 + seed)
+        qc = _measured(random_circuit(3, 10, seed=seed))
+        perm = tuple(int(p) for p in rng.permutation(qc.num_qubits))
+        base, twin = self._alloc_pair(toronto, qc, perm)
+
+        cache = ExecutionCache()
+        rep = cache.transpile(base.circuit, toronto, base,
+                              _default_transpiler)
+        reused = cache.transpile(twin.circuit, toronto, twin,
+                                 _default_transpiler)
+        fresh = _default_transpiler(twin.circuit, toronto, twin)
+
+        # The physical circuit is label-invariant: reuse hands back the
+        # representative's compiled artifact verbatim.
+        assert circuit_key(reused.circuit) == circuit_key(rep.circuit)
+        # Execution identity: the reused artifact's noiseless output
+        # equals both an independent compile of the twin and the twin's
+        # logical ideal.  (A fresh compile may break layout ties
+        # differently, so circuits are not compared gate-for-gate.)
+        logical = ideal_probabilities(twin.circuit)
+        reused_probs = ideal_probabilities(reused.circuit)
+        fresh_probs = ideal_probabilities(fresh.circuit)
+        assert reused_probs == pytest.approx(logical, abs=1e-9)
+        assert fresh_probs == pytest.approx(logical, abs=1e-9)
+        # Layouts arrive in each requester's own labeling; mapping both
+        # through their respective relabelings lands on one canonical
+        # layout (same physical qubits, class-consistent logical names).
+        base_form = canonical_form(base.circuit)
+        twin_form = canonical_form(twin.circuit)
+        canon_from_twin = remap_layout(reused.initial_layout,
+                                       twin_form.relabel)
+        canon_from_base = remap_layout(rep.initial_layout,
+                                       base_form.relabel)
+        assert canon_from_twin.as_dict() == canon_from_base.as_dict()
+
+    def test_persistent_reuse_matches_in_memory_reuse(self, toronto,
+                                                      tmp_path):
+        path = str(tmp_path / "store.db")
+        qc = _measured(random_circuit(3, 8, seed=5))
+        base, twin = self._alloc_pair(toronto, qc, (2, 0, 1))
+        warm = ExecutionCache(store_path=path)
+        warm.transpile(base.circuit, toronto, base, _default_transpiler)
+        # Cold process simulation: new cache, same store, twin request.
+        cold = ExecutionCache(store_path=path)
+        served = cold.transpile(twin.circuit, toronto, twin,
+                                _default_transpiler)
+        assert cold.stats["promotions"] == 1
+        assert ideal_probabilities(served.circuit) == pytest.approx(
+            ideal_probabilities(twin.circuit), abs=1e-9)
+
+    def test_ideal_distributions_shared_across_class(self, toronto):
+        cache = ExecutionCache()
+        qc = _measured(random_circuit(3, 8, seed=6))
+        twin = _permuted(qc, (1, 2, 0))
+        first = cache.ideal(qc)
+        second = cache.ideal(twin)
+        assert cache.ideal_misses == 1
+        assert cache.ideal_hits == 1
+        assert second == pytest.approx(first, abs=1e-12)
+        assert second == pytest.approx(ideal_probabilities(twin),
+                                       abs=1e-9)
+
+
+class TestProviderPersistentStore:
+    def test_cache_path_attaches_store(self, toronto, tmp_path):
+        path = str(tmp_path / "provider.db")
+        with QuantumProvider(cache_path=path) as provider:
+            assert provider.cache_path == path
+            assert provider.cache.persistent is not None
+
+    def test_cache_path_env_default(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.db")
+        monkeypatch.setenv("REPRO_CACHE_PATH", path)
+        with QuantumProvider() as provider:
+            assert provider.cache_path == path
+        monkeypatch.delenv("REPRO_CACHE_PATH")
+        with QuantumProvider() as provider:
+            assert provider.cache_path is None
+
+    def test_warm_store_run_and_metadata_counters(self, tmp_path):
+        path = str(tmp_path / "provider.db")
+        circuits = [workload("lin").circuit(),
+                    workload("adder").circuit()]
+        with QuantumProvider(cache_path=path) as warm:
+            backend = warm.simulator("ibm_toronto")
+            first = backend.run(circuits, shots=0).result()
+            assert first.metadata.cache_promotions == 0
+            assert warm.cache_stats()["persistent_writes"] >= 2
+        # A brand-new provider (fresh in-memory caches, same store)
+        # serves every compile from the store: no submissions reach a
+        # worker, and the promotions surface in the job metadata.
+        with QuantumProvider(cache_path=path) as cold:
+            backend = cold.simulator("ibm_toronto")
+            result = backend.run(circuits, shots=0).result()
+            stats = cold.cache_stats()
+            assert stats["submitted"] == 0
+            assert stats["promotions"] >= 2
+            assert result.metadata.cache_promotions >= 2
+            assert result.metadata.transpile_misses == 0
+            payload = result.to_dict()
+            assert payload["metadata"]["cache_promotions"] >= 2
+            assert "cache_evictions" in payload["metadata"]
