@@ -31,7 +31,7 @@ import repro
 from repro.core import ScheduleOutcome, SubmittedProgram
 from repro.hardware import Device, ibm_melbourne, ibm_toronto
 from repro.service import QuantumProvider
-from repro.workloads import synthesize_traffic
+from repro.workloads import synthesize_traffic, traffic_rate_sweep
 
 #: CI override knob (mirrors bench_kernels.py's KERNEL_SPEEDUP_FLOOR).
 TURNAROUND_FLOOR = float(os.environ.get("SCHEDULER_SPEEDUP_FLOOR", "2.0"))
@@ -57,6 +57,7 @@ def run_service(
     policy: str = "least_loaded",
     window_ns: float = 0.0,
     max_batch_size: int | None = None,
+    race_allocators: tuple | None = None,
 ) -> ScheduleOutcome:
     backend = provider.fleet_backend(
         devices,
@@ -65,6 +66,7 @@ def run_service(
         fidelity_threshold=threshold,
         batch_window_ns=window_ns,
         max_batch_size=max_batch_size,
+        race_allocators=race_allocators,
     )
     # Schedule-only jobs: the discrete-event outcome is the measurement.
     return backend.run(submissions, execute=False).result().schedule
@@ -97,10 +99,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     provider = repro.provider(job_workers=1)
     artifact: Dict[str, Dict] = {}
     best_overall = 0.0
+    # One shared draw across rates: every stream submits the same
+    # programs in the same order, so the rate axis isolates queueing
+    # pressure from workload-mix variance.
+    streams = traffic_rate_sweep(num_programs, rates_ns,
+                                 mix="heavy_tail", seed=args.seed)
     for rate in rates_ns:
-        subs = synthesize_traffic(
-            num_programs, pattern="poisson", mean_interarrival_ns=rate,
-            mix="heavy_tail", seed=args.seed)
+        subs = streams[float(rate)]
         # True serial baseline: one program per hardware job.
         serial = run_service(provider, subs, fleet_devices(1), "qucp",
                              0.0, max_batch_size=1)
@@ -109,6 +114,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows: List[List[object]] = [[
             "serial", 1, "-", 0.0, serial.num_jobs,
             fmt_ms(serial.makespan_ns), fmt_ms(serial.mean_turnaround_ns),
+            fmt_ms(serial.turnaround_p99_ns), serial.max_queue_depth,
             "1.00x",
         ]]
         best: Dict[str, float] = {}
@@ -131,6 +137,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         args.threshold, out.num_jobs,
                         fmt_ms(out.makespan_ns),
                         fmt_ms(out.mean_turnaround_ns),
+                        fmt_ms(out.turnaround_p99_ns),
+                        out.max_queue_depth,
                         f"{speedup:.2f}x",
                     ])
                     if size > 1:
@@ -140,19 +148,80 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"Poisson traffic, {num_programs} programs, "
             f"mean interarrival {rate / 1e6:g} ms",
             ["allocator", "fleet", "policy", "threshold", "jobs",
-             "makespan(ms)", "turnaround(ms)", "vs serial"],
+             "makespan(ms)", "turnaround(ms)", "p99(ms)", "maxQ",
+             "vs serial"],
             rows)
         top = max(best.values())
         best_overall = max(best_overall, top)
         print(f"best multi-programmed fleet speedup at this rate: "
               f"{top:.2f}x")
 
+    # --- hedged allocator racing: the p99 tail cut ---------------------
+    # At a loaded arrival rate, racing qumc/qucloud challengers against
+    # the qucp primary at every dispatch ("best" mode: most programs
+    # admitted at the best mean EFS wins, ties to the primary) trims the
+    # turnaround tail.  Deterministic: the winner per dispatch and the
+    # whole outcome reproduce exactly under a fixed seed.
+    race_programs = 20 if args.smoke else 40
+    race_rate = 2e5
+    race_subs = synthesize_traffic(
+        race_programs, pattern="poisson", mean_interarrival_ns=race_rate,
+        mix="heavy_tail", seed=args.seed)
+    race_threshold = 0.5
+    challengers = ("qumc", "qucloud")
+    unraced = run_service(provider, race_subs, fleet_devices(1), "qucp",
+                          race_threshold)
+    raced = run_service(provider, race_subs, fleet_devices(1), "qucp",
+                        race_threshold, race_allocators=challengers)
+    replay = run_service(provider, race_subs, fleet_devices(1), "qucp",
+                         race_threshold, race_allocators=challengers)
+    reproducible = (raced.to_dict() == replay.to_dict())
+    p99_cut = 1.0 - raced.turnaround_p99_ns / unraced.turnaround_p99_ns
+    print_table(
+        f"Hedged allocator racing (qucp vs {'+'.join(challengers)}), "
+        f"{race_programs} programs at {race_rate / 1e6:g} ms interarrival",
+        ["service", "jobs", "turnaround(ms)", "p50(ms)", "p95(ms)",
+         "p99(ms)", "maxQ"],
+        [
+            ["primary only", unraced.num_jobs,
+             fmt_ms(unraced.mean_turnaround_ns),
+             fmt_ms(unraced.turnaround_p50_ns),
+             fmt_ms(unraced.turnaround_p95_ns),
+             fmt_ms(unraced.turnaround_p99_ns),
+             unraced.max_queue_depth],
+            ["raced", raced.num_jobs,
+             fmt_ms(raced.mean_turnaround_ns),
+             fmt_ms(raced.turnaround_p50_ns),
+             fmt_ms(raced.turnaround_p95_ns),
+             fmt_ms(raced.turnaround_p99_ns),
+             raced.max_queue_depth],
+        ])
+    print(f"race wins by allocator: {raced.race_wins}; p99 turnaround "
+          f"cut: {p99_cut:+.1%}; reproducible replay: {reproducible}")
+
     with open(ARTIFACT, "w") as fh:
         json.dump({"programs": num_programs, "threshold": args.threshold,
-                   "best_speedup": best_overall, "outcomes": artifact},
+                   "best_speedup": best_overall, "outcomes": artifact,
+                   "racing": {
+                       "programs": race_programs,
+                       "rate_ns": race_rate,
+                       "threshold": race_threshold,
+                       "challengers": list(challengers),
+                       "unraced": unraced.to_dict(),
+                       "raced": raced.to_dict(),
+                       "p99_cut": p99_cut,
+                       "reproducible": reproducible,
+                   }},
                   fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"\nwrote {ARTIFACT}")
+
+    if not reproducible:
+        print("FAIL: raced schedule did not replay bit-identically "
+              "under the fixed seed", file=sys.stderr)
+        return 1
+    print("OK: raced schedule replays bit-identically (deterministic "
+          "winner under fixed seed)")
 
     # The gate holds at the loaded operating point: near-idle rates are
     # reported for the shape (speedup -> 1x as the queue empties) but a

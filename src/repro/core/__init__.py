@@ -27,6 +27,7 @@ from .cna import (
 )
 from .compile_service import CompileService
 from .events import Event, EventKind, EventQueue
+from .execution_service import ExecutionService
 from .executor import (
     BatchJob,
     ExecutionCache,
@@ -52,6 +53,13 @@ from .partition import (
 from .qucloud import QucloudAllocator, fidelity_degree, qucloud_allocate
 from .qucp import DEFAULT_SIGMA, QucpAllocator, qucp_allocate
 from .qumc import QumcAllocator, oracle_characterization, qumc_allocate
+from .racing import (
+    RaceCandidate,
+    RaceError,
+    RaceOutcome,
+    StrategyRace,
+    race_allocations,
+)
 from .queueing import (
     JobSpec,
     QueueReport,
@@ -83,6 +91,7 @@ __all__ = [
     "EventQueue",
     "ExecutionCache",
     "ExecutionOutcome",
+    "ExecutionService",
     "JobSpec",
     "MultiqcAllocator",
     "OnlineScheduler",
@@ -94,7 +103,11 @@ __all__ = [
     "QucpAllocator",
     "QueueReport",
     "QumcAllocator",
+    "RaceCandidate",
+    "RaceError",
+    "RaceOutcome",
     "ScheduleOutcome",
+    "StrategyRace",
     "SubmittedProgram",
     "ThresholdDecision",
     "UnknownAllocatorError",
@@ -122,6 +135,7 @@ __all__ = [
     "qucloud_allocate",
     "qucp_allocate",
     "qumc_allocate",
+    "race_allocations",
     "register_allocator",
     "resolve_allocator",
     "run_batch",

@@ -30,6 +30,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .compile_service import CompileService
+    from .execution_service import ExecutionService
 
 from ..cache import (
     MemoryCache,
@@ -374,6 +375,7 @@ def execute_allocation(
     include_crosstalk: bool = True,
     cache: Optional[ExecutionCache] = None,
     compile_service: "Optional[CompileService]" = None,
+    execution_service: "Optional[ExecutionService]" = None,
 ) -> List[ExecutionOutcome]:
     """Run every allocated program simultaneously; outcomes in input order.
 
@@ -382,7 +384,10 @@ def execute_allocation(
     amortize transpilation and ideal-distribution work across calls (or
     use :func:`run_batch`, which does so automatically).  With a
     *compile_service*, the job's programs are submitted to its worker
-    pool up front and compiled in parallel.
+    pool up front and compiled in parallel.  With an
+    *execution_service*, the simulations themselves are sharded across
+    its worker pool (bit-identical to the serial path — see
+    :class:`~repro.core.execution_service.ExecutionService`).
     """
     transpiler_fn = transpiler_fn or _default_transpiler
     cache = _resolve_service_cache(cache, compile_service)
@@ -415,9 +420,14 @@ def execute_allocation(
                                  transpiler_fn)
             transpiled.append(tr)
             programs.append(Program(tr.circuit, alloc.partition))
-    results = run_parallel(programs, device, shots=shots, seed=seed,
-                           scheduling=scheduling,
-                           include_crosstalk=include_crosstalk)
+    if execution_service is not None:
+        results = execution_service.run_parallel(
+            programs, device, shots=shots, seed=seed,
+            scheduling=scheduling, include_crosstalk=include_crosstalk)
+    else:
+        results = run_parallel(programs, device, shots=shots, seed=seed,
+                               scheduling=scheduling,
+                               include_crosstalk=include_crosstalk)
     outcomes: List[ExecutionOutcome] = []
     for alloc, tr, res in zip(ordered, transpiled, results):
         ideal = cache.ideal(alloc.circuit)
@@ -446,6 +456,7 @@ def run_batch(
     seed: SeedLike = None,
     cache: Optional[ExecutionCache] = None,
     compile_service: "Optional[CompileService]" = None,
+    execution_service: "Optional[ExecutionService]" = None,
 ) -> List[List[ExecutionOutcome]]:
     """Execute a sweep of parallel jobs with shared caching.
 
@@ -460,7 +471,8 @@ def run_batch(
     With a *compile_service*, every job's programs are prefetched onto
     its worker pool before the first job executes: job *i*'s simulation
     overlaps the compilation of jobs *i+1...*, and each job only waits
-    on its own transpiles.
+    on its own transpiles.  With an *execution_service*, each job's
+    simulations are sharded across its worker pool (bit-identical).
     """
     normalized: List[BatchJob] = [
         job if isinstance(job, BatchJob) else BatchJob(job) for job in jobs
@@ -501,5 +513,6 @@ def run_batch(
                 include_crosstalk=job.include_crosstalk,
                 cache=cache,
                 compile_service=compile_service,
+                execution_service=execution_service,
             ))
     return outcomes

@@ -1,0 +1,385 @@
+"""Hedged racing of redundant strategies.
+
+Production queues are judged by their *tail*: p99 turnaround is what a
+user stuck behind one slow/unlucky request feels.  The classic hedge is
+to run redundant candidates — different allocator strategies, different
+compile plans — as speculative duplicates and keep only one:
+
+- ``mode="best"`` evaluates every candidate and commits the one with
+  the lowest score (ties broken by candidate order, so the winner is
+  deterministic and reproducible under a fixed seed).  This is the
+  scheduler's mode: batch packing is raced across allocators and the
+  pack admitting the most programs at the best fidelity wins.
+- ``mode="first"`` submits every candidate to a worker pool and takes
+  the first *successful* completion, cancelling the losers so their
+  pool slots free up immediately — the latency hedge proper.
+
+A raising candidate never poisons the race (its error is recorded and a
+surviving candidate wins; :class:`RaceError` only if *every* candidate
+fails), and a broken worker pool degrades to inline sequential
+evaluation (``stats["fallbacks"]``), mirroring
+:class:`~repro.core.compile_service.CompileService`'s pool-health
+policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    wait,
+)
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = ["RaceCandidate", "RaceOutcome", "RaceError", "StrategyRace",
+           "race_allocations"]
+
+_MODES = ("best", "first")
+
+
+class RaceError(RuntimeError):
+    """Every candidate in a race failed.
+
+    ``errors`` maps candidate name to the exception it raised.
+    """
+
+    def __init__(self, errors: Dict[str, BaseException]) -> None:
+        detail = "; ".join(f"{name}: {exc!r}"
+                           for name, exc in errors.items())
+        super().__init__(f"all {len(errors)} race candidates failed "
+                         f"({detail})")
+        self.errors = dict(errors)
+
+
+class RaceCandidate:
+    """One named strategy in a race."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[..., Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"RaceCandidate({self.name!r})"
+
+
+class RaceOutcome:
+    """What a race produced: the winner plus full accounting."""
+
+    __slots__ = ("winner", "value", "score", "errors", "cancelled",
+                 "fallback")
+
+    def __init__(self, winner: str, value: Any, score: Any,
+                 errors: Dict[str, BaseException],
+                 cancelled: Tuple[str, ...], fallback: bool) -> None:
+        #: Name of the committed candidate.
+        self.winner = winner
+        #: Its return value.
+        self.value = value
+        #: Its score (``None`` in first-wins mode).
+        self.score = score
+        #: Exceptions raised by losing candidates, by name.
+        self.errors = errors
+        #: Candidates cancelled before running (first-wins mode).
+        self.cancelled = cancelled
+        #: True when a broken pool forced inline evaluation.
+        self.fallback = fallback
+
+    def __repr__(self) -> str:
+        return (f"<RaceOutcome winner={self.winner!r} score={self.score!r}"
+                f" cancelled={len(self.cancelled)}"
+                f" errors={len(self.errors)}>")
+
+
+def _as_candidates(candidates) -> List[RaceCandidate]:
+    out: List[RaceCandidate] = []
+    for item in candidates:
+        if isinstance(item, RaceCandidate):
+            out.append(item)
+        else:
+            name, fn = item
+            out.append(RaceCandidate(name, fn))
+    if not out:
+        raise ValueError("a race needs at least one candidate")
+    names = [c.name for c in out]
+    if len(set(names)) != len(names):
+        raise ValueError(f"candidate names must be unique: {names}")
+    return out
+
+
+class StrategyRace:
+    """Races a fixed set of candidates over varying inputs.
+
+    Parameters
+    ----------
+    candidates:
+        ``(name, fn)`` pairs (or :class:`RaceCandidate` objects); every
+        ``fn`` is called with the arguments passed to :meth:`run`.
+        Order matters: it is the deterministic tie-break.
+    mode:
+        ``"best"`` (default) — evaluate all, commit the lowest score;
+        ``"first"`` — commit the first successful completion and cancel
+        the rest.
+    score:
+        For ``"best"``: maps a candidate's return value to a comparable
+        score (lower wins).  Defaults to the value itself.
+    executor:
+        Worker pool for concurrent candidate evaluation.  ``"best"``
+        runs sequentially inline without one (deterministic and
+        allocation-engine-safe — the engines' memo dicts are not
+        thread-safe); ``"first"`` lazily builds a private thread pool
+        when none is given.
+    """
+
+    def __init__(self, candidates: Sequence[Union[RaceCandidate,
+                                                  Tuple[str, Callable]]],
+                 mode: str = "best",
+                 score: Optional[Callable[[Any], Any]] = None,
+                 executor=None) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        self.candidates = _as_candidates(candidates)
+        self.mode = mode
+        self.score = score
+        self._executor = executor
+        self._own_pool = None
+        self._lock = threading.Lock()
+        # ``races`` runs of :meth:`run`; ``candidates`` evaluations
+        # started; ``cancelled`` losers cancelled before running;
+        # ``errors`` candidate failures absorbed; ``fallbacks`` races
+        # degraded to inline evaluation by a broken pool.
+        self.stats: Dict[str, int] = {
+            "races": 0, "candidates": 0, "cancelled": 0, "errors": 0,
+            "fallbacks": 0}
+
+    # ------------------------------------------------------------------
+    def run(self, *args, **kwargs) -> RaceOutcome:
+        """Race every candidate over ``(*args, **kwargs)``."""
+        with self._lock:
+            self.stats["races"] += 1
+        if self.mode == "first":
+            return self._run_first(args, kwargs)
+        return self._run_best(args, kwargs)
+
+    # ------------------------------------------------------------------
+    def _run_best(self, args, kwargs) -> RaceOutcome:
+        """Evaluate all candidates; lowest score wins, order breaks ties."""
+        evaluated, errors, fallback = self._evaluate_all(args, kwargs)
+        if not evaluated:
+            raise RaceError(errors)
+        scored = []
+        for order, (cand, value) in enumerate(evaluated):
+            s = value if self.score is None else self.score(value)
+            scored.append((s, order, cand, value))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        best_score, _, winner, value = scored[0]
+        return RaceOutcome(winner.name, value, best_score, errors, (),
+                           fallback)
+
+    def _evaluate_all(self, args, kwargs):
+        """All candidates' results, concurrently when a pool is given."""
+        errors: Dict[str, BaseException] = {}
+        evaluated: List[Tuple[RaceCandidate, Any]] = []
+        fallback = False
+        pending = list(self.candidates)
+        if self._executor is not None:
+            futures: List[Tuple[RaceCandidate, Future]] = []
+            try:
+                for cand in pending:
+                    futures.append(
+                        (cand, self._executor.submit(cand.fn, *args,
+                                                     **kwargs)))
+                    with self._lock:
+                        self.stats["candidates"] += 1
+                pending = []
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException:  # noqa: BLE001 - pool health
+                # Broken/shut-down pool mid-submission: evaluate the
+                # unsubmitted tail inline below.
+                pending = pending[len(futures):]
+                fallback = True
+                with self._lock:
+                    self.stats["fallbacks"] += 1
+            for cand, fut in futures:
+                try:
+                    evaluated.append((cand, fut.result()))
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BrokenExecutor:
+                    # Worker died: strategy health is unknown, so rerun
+                    # it inline rather than recording a phantom error.
+                    pending.append(cand)
+                    if not fallback:
+                        fallback = True
+                        with self._lock:
+                            self.stats["fallbacks"] += 1
+                except BaseException as exc:  # noqa: BLE001
+                    errors[cand.name] = exc
+                    with self._lock:
+                        self.stats["errors"] += 1
+        for cand in pending:
+            with self._lock:
+                self.stats["candidates"] += 1
+            try:
+                evaluated.append((cand, cand.fn(*args, **kwargs)))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001
+                errors[cand.name] = exc
+                with self._lock:
+                    self.stats["errors"] += 1
+        return evaluated, errors, fallback
+
+    # ------------------------------------------------------------------
+    def _run_first(self, args, kwargs) -> RaceOutcome:
+        """First successful completion wins; pending losers cancelled."""
+        pool = self._first_pool()
+        futures: Dict[Future, RaceCandidate] = {}
+        errors: Dict[str, BaseException] = {}
+        try:
+            for cand in self.candidates:
+                futures[pool.submit(cand.fn, *args, **kwargs)] = cand
+                with self._lock:
+                    self.stats["candidates"] += 1
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException:  # noqa: BLE001 - pool health
+            return self._first_inline(args, kwargs, futures, errors)
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in sorted(done, key=lambda f: self.candidates.index(
+                    futures[f])):
+                cand = futures[fut]
+                try:
+                    value = fut.result()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BrokenExecutor:
+                    return self._first_inline(args, kwargs, futures,
+                                              errors)
+                except BaseException as exc:  # noqa: BLE001
+                    errors[cand.name] = exc
+                    with self._lock:
+                        self.stats["errors"] += 1
+                    continue
+                cancelled = self._cancel_losers(futures, keep=fut)
+                return RaceOutcome(cand.name, value, None, errors,
+                                   cancelled, False)
+        raise RaceError(errors)
+
+    def _first_inline(self, args, kwargs, futures, errors) -> RaceOutcome:
+        """Broken pool during a first-wins race: sequential inline
+        evaluation of every candidate that has not already failed."""
+        with self._lock:
+            self.stats["fallbacks"] += 1
+        for fut in futures:
+            fut.cancel()
+        for cand in self.candidates:
+            if cand.name in errors:
+                continue
+            try:
+                value = cand.fn(*args, **kwargs)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001
+                errors[cand.name] = exc
+                with self._lock:
+                    self.stats["errors"] += 1
+                continue
+            return RaceOutcome(cand.name, value, None, errors, (), True)
+        raise RaceError(errors)
+
+    def _cancel_losers(self, futures: Dict[Future, RaceCandidate],
+                       keep: Future) -> Tuple[str, ...]:
+        """Cancel every future but *keep*; running ones finish discarded."""
+        cancelled: List[str] = []
+        for fut, cand in futures.items():
+            if fut is keep:
+                continue
+            if fut.cancel():
+                cancelled.append(cand.name)
+        with self._lock:
+            self.stats["cancelled"] += len(cancelled)
+        return tuple(cancelled)
+
+    def _first_pool(self):
+        if self._executor is not None:
+            return self._executor
+        if self._own_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._own_pool = ThreadPoolExecutor(
+                max_workers=len(self.candidates),
+                thread_name_prefix="strategy-race")
+        return self._own_pool
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait_: bool = True) -> None:
+        """Stop the private pool, if one was created (a caller-supplied
+        executor is the caller's to manage)."""
+        if self._own_pool is not None:
+            self._own_pool.shutdown(wait=wait_)
+            self._own_pool = None
+
+    def __enter__(self) -> "StrategyRace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# allocator racing
+# ----------------------------------------------------------------------
+
+def _mean_efs(allocation_result) -> float:
+    allocations = allocation_result.allocations
+    if not allocations:
+        return float("inf")
+    return float(sum(a.efs for a in allocations) / len(allocations))
+
+
+def race_allocations(circuits, device,
+                     strategies: Sequence[str] = ("qucp", "cna", "qumc"),
+                     mode: str = "best",
+                     executor=None):
+    """Race allocator strategies over one job; returns
+    ``(AllocationResult, RaceOutcome)``.
+
+    In ``"best"`` mode the allocation with the lowest mean estimated
+    fidelity score wins (every program placed, lower EFS = better
+    expected fidelity); ties fall to the earlier strategy, so the
+    winner is stable.  A strategy that cannot place the job (raises)
+    just loses the race.
+    """
+    from .allocators import resolve_allocator
+
+    candidates = []
+    for name in strategies:
+        allocator = resolve_allocator(name, None)
+
+        def attempt(circuits, device, _alloc=allocator):
+            return _alloc.allocate(list(circuits), device)
+
+        candidates.append(RaceCandidate(allocator.name, attempt))
+    score = _mean_efs if mode == "best" else None
+    race = StrategyRace(candidates, mode=mode, score=score,
+                        executor=executor)
+    try:
+        outcome = race.run(circuits, device)
+    finally:
+        race.shutdown()
+    return outcome.value, outcome

@@ -48,9 +48,11 @@ from .allocators import (
 )
 from .events import EventKind, EventQueue
 from .qucp import DEFAULT_SIGMA, QucpAllocator
+from .racing import StrategyRace
 
 __all__ = ["SubmittedProgram", "DispatchedBatch", "ScheduleOutcome",
-           "CloudScheduler", "OnlineScheduler", "json_safe_num"]
+           "CloudScheduler", "OnlineScheduler", "json_safe_num",
+           "percentile"]
 
 
 def json_safe_num(value: Optional[float]) -> Optional[float]:
@@ -63,6 +65,21 @@ def json_safe_num(value: Optional[float]) -> Optional[float]:
     if value is None or math.isnan(value):
         return None
     return float(value)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile of *values* (linear interpolation between
+    closest ranks, numpy's default) — NaN for an empty sequence."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
 @dataclass(frozen=True)
@@ -145,6 +162,17 @@ class ScheduleOutcome:
     #: the structural cache — identical programs at different queue
     #: indices dedup into one compile.
     compile_requests: int = 0
+    #: Turnaround tail percentiles (NaN when nothing completed).  Means
+    #: hide exactly the tail a production queue is judged by — and the
+    #: tail is what hedged racing targets.
+    turnaround_p50_ns: float = math.nan
+    turnaround_p95_ns: float = math.nan
+    turnaround_p99_ns: float = math.nan
+    #: Deepest the pending queue ever got (arrivals waiting for a
+    #: device), the saturation signal a rate sweep looks for.
+    max_queue_depth: int = 0
+    #: Dispatches won per racing candidate (empty without racing).
+    race_wins: Dict[str, int] = field(default_factory=dict)
 
     @property
     def batches(self) -> List[AllocationResult]:
@@ -186,6 +214,12 @@ class ScheduleOutcome:
             "completion_ns": {str(i): float(t) for i, t
                               in sorted(self.completion_ns.items())},
             "compile_requests": int(self.compile_requests),
+            "turnaround_p50_ns": json_safe_num(self.turnaround_p50_ns),
+            "turnaround_p95_ns": json_safe_num(self.turnaround_p95_ns),
+            "turnaround_p99_ns": json_safe_num(self.turnaround_p99_ns),
+            "max_queue_depth": int(self.max_queue_depth),
+            "race_wins": {str(k): int(v)
+                          for k, v in sorted(self.race_wins.items())},
             "jobs": [job.to_dict() for job in self.jobs],
         }
 
@@ -237,6 +271,22 @@ class CloudScheduler:
         attached (``QuantumProvider(cache_path=...)``) batches dedup
         against artifacts compiled by *other processes* — a cold
         scheduler on a warm store dispatches without compiling at all.
+    race_allocators:
+        Extra allocator strategies (registry names or instances) to
+        *race* against the primary allocator at every dispatch: each
+        candidate packs the batch independently, and the pack admitting
+        the most programs at the lowest mean EFS wins (ties fall to the
+        primary, then declaration order — deterministic, so a fixed
+        seed reproduces the same winners).  More programs per hardware
+        job means fewer jobs and shorter queues: this is the
+        tail-latency hedge, measured by ``benchmarks/bench_scheduler``'s
+        racing phase.  Per-candidate wins land in
+        :attr:`ScheduleOutcome.race_wins`.
+    race_executor:
+        Optional worker pool for concurrent candidate packing.  The
+        default (``None``) evaluates sequentially — deterministic and
+        safe with the allocation engines' un-locked memo tables; pass a
+        pool only with thread-safe allocators.
     """
 
     def __init__(
@@ -249,6 +299,8 @@ class CloudScheduler:
         sigma: Optional[float] = None,
         max_batch_size: Optional[int] = None,
         compile_service: "Optional[CompileService]" = None,
+        race_allocators: Optional[Sequence[Union[str, Allocator]]] = None,
+        race_executor=None,
     ) -> None:
         if fidelity_threshold < 0:
             raise ValueError("fidelity threshold must be non-negative")
@@ -266,6 +318,51 @@ class CloudScheduler:
         self.job_overhead_ns = job_overhead_ns
         self.max_batch_size = max_batch_size
         self.compile_service = compile_service
+        self.race = self._build_race(race_allocators, race_executor)
+
+    def _build_race(self, race_allocators, race_executor
+                    ) -> Optional[StrategyRace]:
+        """A best-pack race with the primary allocator as candidate 0.
+
+        The primary goes first so (a) a dispatch can never admit fewer
+        programs than the un-raced scheduler would, and (b) score ties
+        resolve to the primary — racing only ever changes a dispatch
+        when a challenger strictly wins.
+        """
+        if not race_allocators:
+            return None
+        candidates = [(self.allocator.name, self._make_packer(
+            self.allocator))]
+        seen = {self.allocator.name}
+        for item in race_allocators:
+            challenger = resolve_allocator(item, None,
+                                           require_incremental=True)
+            if challenger.name in seen:
+                continue
+            seen.add(challenger.name)
+            candidates.append((challenger.name,
+                               self._make_packer(challenger)))
+        if len(candidates) == 1:
+            return None
+        return StrategyRace(candidates, mode="best",
+                            score=self._pack_score,
+                            executor=race_executor)
+
+    def _make_packer(self, allocator: Allocator):
+        def pack(device_index, head, admission_order, submissions):
+            return self._pack_batch(allocator, device_index, head,
+                                    admission_order, submissions)
+        return pack
+
+    @staticmethod
+    def _pack_score(pack) -> Tuple[int, float]:
+        """Lower wins: most programs admitted, then lowest mean EFS."""
+        batch, admitted = pack
+        if not admitted:
+            return (0, math.inf)
+        mean_efs = (sum(a.efs for a in batch.allocations)
+                    / len(batch.allocations))
+        return (-len(admitted), mean_efs)
 
     # ------------------------------------------------------------------
     def _engine(self, device_index: int) -> AllocationEngine:
@@ -281,21 +378,61 @@ class CloudScheduler:
         circuit: QuantumCircuit,
         ctx: PlacementContext,
         is_head: bool,
+        allocator: Optional[Allocator] = None,
     ) -> Optional[Placement]:
         """Admit *circuit* iff its batch placement degrades at most
         ``fidelity_threshold`` relative to its own solo-best placement
         on the same device."""
+        allocator = allocator or self.allocator
         engine = self._engine(device_index)
-        placement = engine.best_placement(self.allocator, circuit, ctx)
+        placement = engine.best_placement(allocator, circuit, ctx)
         if placement is None or is_head:
             return placement
-        solo = engine.solo_best(self.allocator, circuit)
+        solo = engine.solo_best(allocator, circuit)
         if solo is None or solo.efs <= 0:
             return placement
         degradation = (placement.efs - solo.efs) / solo.efs
         if degradation > self.fidelity_threshold + 1e-12:
             return None
         return placement
+
+    def _pack_batch(
+        self,
+        allocator: Allocator,
+        device_index: int,
+        head: int,
+        admission_order: Sequence[int],
+        submissions: Sequence[SubmittedProgram],
+    ) -> Tuple[AllocationResult, List[int]]:
+        """Pack one hardware job with *allocator*: the head admits first
+        on the empty chip (always its solo-best placement), the rest of
+        the queue follows in priority order under the fidelity
+        threshold.  Pure given the engine memos — racing candidates can
+        pack the same dispatch independently and only the winner's pack
+        is committed."""
+        device = self.fleet[device_index]
+        batch = AllocationResult(
+            method=(f"online-{allocator.name}"
+                    f"(th={self.fidelity_threshold:g})"),
+            device=device)
+        ctx = EMPTY_CONTEXT
+        admitted: List[int] = []
+        for idx in admission_order:
+            if (self.max_batch_size is not None
+                    and len(admitted) >= self.max_batch_size):
+                break
+            placement = self._try_admit(
+                device_index, submissions[idx].circuit, ctx,
+                is_head=idx == head, allocator=allocator)
+            if placement is None:
+                continue
+            batch.allocations.append(ProgramAllocation(
+                idx, submissions[idx].circuit,
+                placement.partition, placement.efs,
+                placement.suspects))
+            ctx = ctx.extended(placement.partition, device)
+            admitted.append(idx)
+        return batch, admitted
 
     # ------------------------------------------------------------------
     def schedule(self, submissions: Sequence[SubmittedProgram]
@@ -326,6 +463,8 @@ class CloudScheduler:
         jobs: List[DispatchedBatch] = []
         throughputs: List[float] = []
         compile_futures: List = []
+        race_wins: Dict[str, int] = {}
+        max_queue_depth = 0
 
         for i, sub in enumerate(submissions):
             events.push(sub.arrival_ns, EventKind.ARRIVAL, i)
@@ -376,7 +515,6 @@ class CloudScheduler:
                     continue
                 if head is None:
                     return
-                head_sub = submissions[head]
                 chosen = self.fleet.select(
                     eligible,
                     loads={d: load[d] for d in eligible},
@@ -385,37 +523,23 @@ class CloudScheduler:
                 )
                 device = self.fleet[chosen]
                 start = now
-                batch = AllocationResult(
-                    method=(f"online-{self.allocator.name}"
-                            f"(th={self.fidelity_threshold:g})"),
-                    device=device)
-                ctx = EMPTY_CONTEXT
-                admitted: List[int] = []
-                # The head admits first, on the empty chip, so it always
-                # receives its solo-best placement; the rest of the
-                # queue follows in priority order.  Everything in
-                # `pending` has arrived: ARRIVAL events sort before
-                # same-instant DISPATCH events, so a program arriving
-                # after this dispatch fires can never be in the list —
-                # that ordering (events.py) is what keeps late arrivals
-                # out of in-flight batches.
+                # Everything in `pending` has arrived: ARRIVAL events
+                # sort before same-instant DISPATCH events, so a program
+                # arriving after this dispatch fires can never be in the
+                # list — that ordering (events.py) is what keeps late
+                # arrivals out of in-flight batches.
                 admission_order = [head] + [
                     i for i in pending if i != head]
-                for idx in admission_order:
-                    if (self.max_batch_size is not None
-                            and len(admitted) >= self.max_batch_size):
-                        break
-                    placement = self._try_admit(
-                        chosen, submissions[idx].circuit, ctx,
-                        is_head=idx == head)
-                    if placement is None:
-                        continue
-                    batch.allocations.append(ProgramAllocation(
-                        idx, submissions[idx].circuit,
-                        placement.partition, placement.efs,
-                        placement.suspects))
-                    ctx = ctx.extended(placement.partition, device)
-                    admitted.append(idx)
+                if self.race is None:
+                    batch, admitted = self._pack_batch(
+                        self.allocator, chosen, head, admission_order,
+                        submissions)
+                else:
+                    raced = self.race.run(chosen, head, admission_order,
+                                          submissions)
+                    batch, admitted = raced.value
+                    race_wins[raced.winner] = (
+                        race_wins.get(raced.winner, 0) + 1)
                 durations = device.calibration.gate_duration
                 job_len = self.job_overhead_ns + max(
                     program_duration(submissions[i].circuit, durations)
@@ -442,6 +566,7 @@ class CloudScheduler:
             if event.kind is EventKind.ARRIVAL:
                 pending.append(event.payload)
                 pending.sort(key=order_key)
+                max_queue_depth = max(max_queue_depth, len(pending))
                 events.push(event.time_ns + self.batch_window_ns,
                             EventKind.DISPATCH)
             elif event.kind is EventKind.COMPLETION:
@@ -471,6 +596,11 @@ class CloudScheduler:
             completion_ns=completion,
             jobs=jobs,
             compile_requests=len(compile_futures),
+            turnaround_p50_ns=percentile(turnarounds, 50),
+            turnaround_p95_ns=percentile(turnarounds, 95),
+            turnaround_p99_ns=percentile(turnarounds, 99),
+            max_queue_depth=max_queue_depth,
+            race_wins=race_wins,
         )
 
 

@@ -92,6 +92,11 @@ class BackendConfiguration:
     job_overhead_ns: float = 1e6
     #: Programs per hardware job (``None`` unlimited; 1 = serial).
     max_batch_size: Optional[int] = None
+    #: Challenger allocators hedge-raced against the primary at every
+    #: scheduler dispatch (``"best"`` mode: each packs the same batch,
+    #: the pack admitting the most programs at the best mean EFS wins,
+    #: ties resolve to the primary).  ``None`` disables racing.
+    race_allocators: Optional[Tuple[Union[str, Allocator], ...]] = None
     #: Default shot count for ``run`` calls that don't pass one.
     shots: int = 8192
     #: Instruction scheduling mode for execution ("alap"/"asap").
@@ -170,10 +175,17 @@ class BaseBackend(ABC):
     #: land in :class:`~repro.service.RunMetadata`.
     _METADATA_COUNTERS = ("transpile_hits", "transpile_misses",
                           "evictions", "promotions")
+    #: Execution-service counters snapshotted the same way (prefixed so
+    #: they can't collide with the cache's names in one delta dict).
+    _EXECUTION_COUNTERS = ("batches", "chunks", "fallbacks")
 
     def _metadata_counters(self) -> Dict[str, int]:
         stats = self._provider.cache.stats
-        return {k: stats[k] for k in self._METADATA_COUNTERS}
+        counters = {k: stats[k] for k in self._METADATA_COUNTERS}
+        exec_stats = self._provider.execution_service.stats
+        for key in self._EXECUTION_COUNTERS:
+            counters[f"execution_{key}"] = exec_stats[key]
+        return counters
 
     @staticmethod
     def _counter_deltas(before: Dict[str, int],
@@ -267,6 +279,7 @@ class SimulatorBackend(BaseBackend):
                 transpiler_fn=transpiler_fn,
                 include_crosstalk=cfg.include_crosstalk,
                 compile_service=self._provider.compile_service,
+                execution_service=self._provider.execution_service,
             )
             deltas = self._counter_deltas(before,
                                           self._metadata_counters())
@@ -329,6 +342,9 @@ class SimulatorBackend(BaseBackend):
             transpile_misses=deltas["transpile_misses"],
             cache_evictions=deltas["evictions"],
             cache_promotions=deltas["promotions"],
+            execution_batches=deltas["execution_batches"],
+            execution_chunks=deltas["execution_chunks"],
+            execution_fallbacks=deltas["execution_fallbacks"],
         )
         programs = build_program_results([outcomes], [self._device.name])
         return Result(metadata=metadata, programs=programs,
@@ -380,6 +396,7 @@ class CloudBackend(BaseBackend):
             max_batch_size=cfg.max_batch_size,
             compile_service=(self._provider.compile_service
                              if with_compile_service else None),
+            race_allocators=cfg.race_allocators,
         )
 
     def run(
@@ -437,7 +454,9 @@ class CloudBackend(BaseBackend):
                             self._provider.compile_service if prefetch
                             else None),
                         cache=(None if prefetch
-                               else self._provider.cache))
+                               else self._provider.cache),
+                        execution_service=(
+                            self._provider.execution_service))
             deltas = self._counter_deltas(before,
                                           self._metadata_counters())
             return self._build_result(job_id, subs, outcome, outcomes,
@@ -490,6 +509,10 @@ class CloudBackend(BaseBackend):
             transpile_misses=deltas["transpile_misses"],
             cache_evictions=deltas["evictions"],
             cache_promotions=deltas["promotions"],
+            execution_batches=deltas["execution_batches"],
+            execution_chunks=deltas["execution_chunks"],
+            execution_fallbacks=deltas["execution_fallbacks"],
+            races=sum(outcome.race_wins.values()),
         )
         device_names = [job.device_name for job in outcome.jobs]
         programs = build_program_results(outcomes, device_names,

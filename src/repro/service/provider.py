@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.compile_service import CompileService
+from ..core.execution_service import ExecutionService
 from ..core.executor import _UNSET, ExecutionCache
 from ..hardware.devices import (
     Device,
@@ -116,12 +117,22 @@ class QuantumProvider:
         survive provider restarts and dedup across concurrent
         providers.  When omitted, the ``REPRO_CACHE_PATH`` environment
         variable is consulted; unset means in-memory caching only.
+    execution_mode:
+        Worker routing of the shared
+        :class:`~repro.core.ExecutionService` that every backend's
+        simulations run through — ``"auto"`` (default; per-batch
+        serial/thread/process choice from the measured crossover
+        table), or an explicit route.  Sharded execution is
+        bit-identical to the serial path regardless of the route.
+    execution_workers:
+        Execution pool size (``None`` = executor default).
     job_workers:
-        Job pool width.  Defaults to 1: jobs are GIL-bound numpy work,
-        so the pool buys *asynchrony* (``run`` never blocks the caller)
-        rather than parallelism, and one worker keeps shared-cache
-        statistics and engine memo growth deterministic.  Raise it when
-        jobs spend their time in a process-mode compile pool.
+        Job pool width.  Defaults to 1, which keeps shared-cache
+        statistics and engine memo growth deterministic.  With the
+        execution service routing simulations to a *process* pool the
+        GIL no longer serializes jobs, so raising this makes concurrent
+        jobs genuinely overlap — speculative duplicate submissions
+        (hedged racing at the job level) need it.
     job_history:
         Bound on the job registry.  Finished jobs beyond it (oldest
         first) are evicted so their Results can be reclaimed —
@@ -138,6 +149,8 @@ class QuantumProvider:
         compile_workers: Optional[int] = None,
         cache_entries=_UNSET,
         cache_path: Optional[str] = None,
+        execution_mode: str = "auto",
+        execution_workers: Optional[int] = None,
         job_workers: int = 1,
         job_history: Optional[int] = None,
     ) -> None:
@@ -159,6 +172,8 @@ class QuantumProvider:
         self.compile_service = CompileService(
             max_workers=compile_workers, mode=compile_mode,
             cache=self.cache)
+        self.execution_service = ExecutionService(
+            max_workers=execution_workers, mode=execution_mode)
         self._pool = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-job")
         self._job_counter = 0
@@ -342,7 +357,7 @@ class QuantumProvider:
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the job pool and the compile service.
+        """Stop the job pool, the compile and execution services.
 
         With ``wait=True`` queued jobs finish first; the caches stay
         readable either way.  Idempotent.
@@ -353,6 +368,7 @@ class QuantumProvider:
             self._closed = True
         self._pool.shutdown(wait=wait)
         self.compile_service.shutdown(wait=wait)
+        self.execution_service.shutdown(wait=wait)
 
     def __enter__(self) -> "QuantumProvider":
         return self

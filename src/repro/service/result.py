@@ -108,6 +108,17 @@ class RunMetadata:
     #: Artifacts promoted from the persistent store into memory during
     #: the window (0 unless the provider attached a ``cache_path``).
     cache_promotions: int = 0
+    #: Execution-service counter deltas over the same window (same
+    #: single-worker caveat as the cache deltas above): batches routed
+    #: through the shared :class:`~repro.core.ExecutionService`, the
+    #: process-pool chunks they sharded into, and programs that fell
+    #: back inline because a pool broke.
+    execution_batches: int = 0
+    execution_chunks: int = 0
+    execution_fallbacks: int = 0
+    #: Hedged allocator races the scheduler ran for this job (0 when
+    #: the backend has no ``race_allocators`` configured).
+    races: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (NaN timings become ``None``)."""
@@ -127,6 +138,10 @@ class RunMetadata:
             "transpile_misses": int(self.transpile_misses),
             "cache_evictions": int(self.cache_evictions),
             "cache_promotions": int(self.cache_promotions),
+            "execution_batches": int(self.execution_batches),
+            "execution_chunks": int(self.execution_chunks),
+            "execution_fallbacks": int(self.execution_fallbacks),
+            "races": int(self.races),
         }
 
 

@@ -30,7 +30,7 @@ from .density_matrix import SimulationResult, run_circuit
 from .readout import SeedLike
 
 __all__ = ["Program", "run_parallel", "run_single", "program_duration",
-           "spawn_seeds"]
+           "prepare_parallel", "spawn_seeds"]
 
 
 @dataclass(frozen=True)
@@ -207,23 +207,23 @@ def spawn_seeds(seed: SeedLike,
     return list(base.spawn(count))
 
 
-def run_parallel(
+def prepare_parallel(
     programs: Sequence[Program],
     device: Device,
-    shots: int = 4096,
-    seed: SeedLike = None,
     scheduling: str = "alap",
     include_crosstalk: bool = True,
     noisy: bool = True,
-) -> List[SimulationResult]:
-    """Execute *programs* simultaneously on *device* and return results.
+) -> Tuple[List[Program], List[Dict[int, float]]]:
+    """The joint (cross-program) half of :func:`run_parallel`.
 
-    Partitions must be pairwise disjoint.  With ``noisy=False`` this is an
-    ideal run (useful for reference distributions).  The joint crosstalk
-    schedule is computed once for the whole job; *seed* (int or
-    :class:`numpy.random.SeedSequence`) is spawned into independent
-    per-program child streams so co-scheduled programs sample
-    independently.
+    Validates the partitions, applies the ASAP trailing-idle padding,
+    and computes the per-program crosstalk error scales from the joint
+    schedule.  Returns ``(effective_programs, error_scales)`` — after
+    this point each program's simulation depends only on its own
+    ``(circuit, partition, seed, scales)`` tuple, which is what lets
+    :class:`~repro.core.execution_service.ExecutionService` shard the
+    per-program work across processes without changing a single bit of
+    the output.
     """
     seen: set = set()
     for prog in programs:
@@ -257,6 +257,30 @@ def run_parallel(
         scales = _crosstalk_scales(effective, device, scheduling)
     else:
         scales = [dict() for _ in effective]
+    return effective, scales
+
+
+def run_parallel(
+    programs: Sequence[Program],
+    device: Device,
+    shots: int = 4096,
+    seed: SeedLike = None,
+    scheduling: str = "alap",
+    include_crosstalk: bool = True,
+    noisy: bool = True,
+) -> List[SimulationResult]:
+    """Execute *programs* simultaneously on *device* and return results.
+
+    Partitions must be pairwise disjoint.  With ``noisy=False`` this is an
+    ideal run (useful for reference distributions).  The joint crosstalk
+    schedule is computed once for the whole job; *seed* (int or
+    :class:`numpy.random.SeedSequence`) is spawned into independent
+    per-program child streams so co-scheduled programs sample
+    independently.
+    """
+    effective, scales = prepare_parallel(
+        programs, device, scheduling=scheduling,
+        include_crosstalk=include_crosstalk, noisy=noisy)
 
     full_noise = device.noise_model() if noisy else None
 

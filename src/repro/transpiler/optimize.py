@@ -10,7 +10,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +19,15 @@ from ..circuits.circuit import Instruction, QuantumCircuit
 from .basis import decompose_oneq_gate
 
 __all__ = ["cancel_adjacent_pairs", "fuse_oneq_runs", "optimize_circuit"]
+
+#: Fused-run memo: (gate name, params) sequence of a 1q run -> its fused
+#: replacement (``None`` = "keep the original run").  The fused form is a
+#: pure function of the run's gates, and service traffic repeats the
+#: same few circuits endlessly (and level 3 re-fuses each circuit to a
+#: fixpoint), so the matrix-product + ZYZ extraction of a repeated run
+#: is paid once.  Gates are frozen dataclasses, safe to share.
+_FUSED_RUNS: "OrderedDict[Tuple, Optional[Tuple]]" = OrderedDict()
+_FUSED_RUNS_MAX = 4096
 
 _SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "swap", "ccx", "cswap",
                  "id"}
@@ -64,6 +74,36 @@ def cancel_adjacent_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
     return out
 
 
+_UNCACHED = object()
+
+
+def _fused_run(run: List[Instruction]) -> Optional[Tuple]:
+    """Fused replacement of one 1q run, or ``None`` to keep it as-is.
+
+    Served from :data:`_FUSED_RUNS` when the run's ``(name, params)``
+    signature has been fused before; symbolic (unhashable) parameters
+    fall through to an uncached fuse.
+    """
+    try:
+        key = tuple((inst.name, inst.params) for inst in run)
+        cached = _FUSED_RUNS.get(key, _UNCACHED)
+    except TypeError:
+        key, cached = None, _UNCACHED
+    if cached is not _UNCACHED:
+        _FUSED_RUNS.move_to_end(key)
+        return cached
+    mat = np.eye(2, dtype=complex)
+    for inst in run:
+        mat = inst.gate.matrix() @ mat
+    decomposed = decompose_oneq_gate(_matrix_gate(mat))
+    fused = tuple(decomposed) if len(decomposed) <= len(run) else None
+    if key is not None:
+        _FUSED_RUNS[key] = fused
+        while len(_FUSED_RUNS) > _FUSED_RUNS_MAX:
+            _FUSED_RUNS.popitem(last=False)
+    return fused
+
+
 def fuse_oneq_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     """Collapse maximal 1q-gate runs per qubit into minimal basis gates.
 
@@ -79,11 +119,8 @@ def fuse_oneq_runs(circuit: QuantumCircuit) -> QuantumCircuit:
         run = pending.pop(q, None)
         if not run:
             return
-        mat = np.eye(2, dtype=complex)
-        for inst in run:
-            mat = inst.gate.matrix() @ mat
-        fused = decompose_oneq_gate(_matrix_gate(mat))
-        if len(fused) <= len(run):
+        fused = _fused_run(run)
+        if fused is not None:
             for g in fused:
                 out.append(g, (q,))
         else:

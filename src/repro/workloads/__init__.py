@@ -17,6 +17,7 @@ from .traffic import (
     poisson_arrival_times,
     sample_workload_mix,
     synthesize_traffic,
+    traffic_rate_sweep,
 )
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "poisson_arrival_times",
     "sample_workload_mix",
     "synthesize_traffic",
+    "traffic_rate_sweep",
     "workload",
     "workload_names",
 ]

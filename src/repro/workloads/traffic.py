@@ -30,6 +30,7 @@ __all__ = [
     "bursty_arrival_times",
     "sample_workload_mix",
     "synthesize_traffic",
+    "traffic_rate_sweep",
     "ARRIVAL_PATTERNS",
     "CIRCUIT_MIXES",
 ]
@@ -157,3 +158,51 @@ def synthesize_traffic(
             priority=priorities.get(user, 0),
         ))
     return out
+
+
+def traffic_rate_sweep(
+    num_programs: int,
+    mean_interarrival_ns_values: Sequence[float],
+    mix: str = "uniform",
+    seed: SeedLike = 0,
+    num_users: int = 4,
+    user_priorities: Optional[Dict[str, int]] = None,
+) -> Dict[float, List[SubmittedProgram]]:
+    """Poisson streams at several arrival rates with a *shared* draw.
+
+    One workload mix and one set of unit-exponential gaps are sampled
+    once; each requested rate rescales the gaps.  Every returned stream
+    therefore submits the **same programs in the same order** — only
+    the arrival spacing differs — so rate studies (turnaround-vs-load
+    curves, the hedged-racing p99 sweep) isolate queueing pressure from
+    mix variance instead of comparing different random workloads.
+
+    Returns ``{mean_interarrival_ns: [SubmittedProgram, ...]}`` in the
+    order the rates were given (dicts preserve insertion order).
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    if not mean_interarrival_ns_values:
+        raise ValueError("at least one arrival rate is required")
+    for rate in mean_interarrival_ns_values:
+        if rate <= 0:
+            raise ValueError("mean interarrival must be positive")
+    rng = _rng(seed)
+    unit_gaps = rng.exponential(1.0, size=num_programs)
+    unit_gaps[0] = 0.0  # first arrival at t = 0, at every rate
+    picks = sample_workload_mix(num_programs, mix=mix, seed=rng)
+    circuits = [wl.circuit() for wl in picks]
+    priorities = user_priorities or {}
+    sweep: Dict[float, List[SubmittedProgram]] = {}
+    for rate in mean_interarrival_ns_values:
+        arrivals = np.cumsum(unit_gaps * rate)
+        sweep[float(rate)] = [
+            SubmittedProgram(
+                circuit=circuit,
+                arrival_ns=float(t),
+                user=f"user{i % num_users}",
+                priority=priorities.get(f"user{i % num_users}", 0),
+            )
+            for i, (t, circuit) in enumerate(zip(arrivals, circuits))
+        ]
+    return sweep

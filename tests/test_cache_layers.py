@@ -278,20 +278,32 @@ class TestShims:
 
 
 class TestSingleCoreRouting:
-    """``choose_route`` must never auto-pick the process pool on a
-    single-core (or unknown-core-count) host."""
+    """``choose_route`` must never auto-pick *any* pool on a single-core
+    (or unknown-core-count) host: measured there, threads run GIL-bound
+    compiles at ~0.9x serial and the chunked process pool at ~0.6x, so
+    the only route that never loses is serial."""
 
     def test_auto_mode_single_core_host(self, monkeypatch):
         monkeypatch.setattr("repro.core.compile_service.os.cpu_count",
                             lambda: 1)
-        assert CompileService.choose_route(64, 65) == "thread"
+        assert CompileService.choose_route(64, 65) == "serial"
 
     def test_auto_mode_unknown_core_count(self, monkeypatch):
         monkeypatch.setattr("repro.core.compile_service.os.cpu_count",
                             lambda: None)
-        assert CompileService.choose_route(64, 65) == "thread"
+        assert CompileService.choose_route(64, 65) == "serial"
+
+    def test_cold_process_regression_batch_stays_serial_on_one_core(self):
+        # The committed BENCH_transpile run that motivated the retune:
+        # 150 heavy-tail programs on a 27q device, one core — explicit
+        # process mode ran at 0.47x serial; auto must not repeat that.
+        assert CompileService.choose_route(150, 27, cores=1) == "serial"
+        assert CompileService.choose_route(48, 65, cores=1) == "serial"
 
     def test_multi_core_still_routes_to_process(self, monkeypatch):
         monkeypatch.setattr("repro.core.compile_service.os.cpu_count",
                             lambda: 4)
         assert CompileService.choose_route(64, 65) == "process"
+
+    def test_multi_core_narrow_device_routes_to_threads(self):
+        assert CompileService.choose_route(64, 27, cores=4) == "thread"

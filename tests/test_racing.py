@@ -1,0 +1,278 @@
+"""Hedged strategy racing: determinism, cancellation, and pool health.
+
+The edge cases that make racing safe to leave on in production:
+
+- equal scores resolve by candidate order, so the winner is
+  deterministic and reproducible under a fixed seed;
+- first-wins cancellation actually frees the losers' pool slots;
+- a raising strategy loses the race instead of poisoning it
+  (:class:`~repro.core.RaceError` only when *every* candidate fails);
+- a broken worker pool degrades to inline serial evaluation with
+  ``stats["fallbacks"]`` incremented — same policy as the compile and
+  execution services.
+"""
+
+import threading
+from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
+
+import pytest
+
+from repro.core import (
+    CloudScheduler,
+    RaceError,
+    StrategyRace,
+    SubmittedProgram,
+    race_allocations,
+)
+from repro.hardware import ibm_toronto
+from repro.workloads import workload
+
+
+def _stream(names, spacing_ns=0.0):
+    return [
+        SubmittedProgram(workload(n).circuit(), arrival_ns=i * spacing_ns,
+                         user=f"user{i}")
+        for i, n in enumerate(names)
+    ]
+
+
+class TestBestMode:
+    def test_lowest_score_wins(self):
+        race = StrategyRace([("a", lambda: 30), ("b", lambda: 10),
+                             ("c", lambda: 20)])
+        out = race.run()
+        assert out.winner == "b"
+        assert out.value == 10
+        assert out.score == 10
+        assert not out.fallback
+
+    def test_equal_scores_resolve_to_candidate_order(self):
+        # The deterministic tie-break: every rerun commits the earliest
+        # candidate, never an arbitrary dict/set ordering.
+        race = StrategyRace([("late", lambda: 7), ("early", lambda: 7)])
+        for _ in range(5):
+            assert race.run().winner == "late"
+        flipped = StrategyRace([("early", lambda: 7), ("late", lambda: 7)])
+        assert flipped.run().winner == "early"
+
+    def test_raising_candidate_does_not_poison_the_race(self):
+        def explode():
+            raise ValueError("no placement")
+
+        race = StrategyRace([("broken", explode), ("ok", lambda: 4)])
+        out = race.run()
+        assert out.winner == "ok"
+        assert isinstance(out.errors["broken"], ValueError)
+        assert race.stats["errors"] == 1
+
+    def test_all_candidates_failing_raises_race_error(self):
+        def explode():
+            raise ValueError("boom")
+
+        race = StrategyRace([("a", explode), ("b", explode)])
+        with pytest.raises(RaceError, match="all 2 race candidates"):
+            race.run()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            StrategyRace([("a", lambda: 1), ("a", lambda: 2)])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            StrategyRace([("a", lambda: 1)], mode="psychic")
+
+
+class TestFirstMode:
+    def test_first_success_wins_and_cancellation_frees_slots(self):
+        # One worker, three candidates: only the first ever runs; the
+        # two queued losers are cancelled, so their slots free up for
+        # unrelated work immediately.
+        release = threading.Event()
+
+        def fast():
+            return "fast-value"
+
+        def slow():  # pragma: no cover - must be cancelled before running
+            release.wait(5.0)
+            return "slow-value"
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            race = StrategyRace([("fast", fast), ("slow1", slow),
+                                 ("slow2", slow)], mode="first",
+                                executor=pool)
+            out = race.run()
+            assert out.winner == "fast"
+            assert out.value == "fast-value"
+            assert set(out.cancelled) == {"slow1", "slow2"}
+            assert race.stats["cancelled"] == 2
+            # The slot is genuinely free: a fresh task runs at once
+            # instead of queueing behind 2x5s of zombie losers.
+            assert pool.submit(lambda: 42).result(timeout=2.0) == 42
+        release.set()
+
+    def test_error_then_success(self):
+        started = threading.Event()
+
+        def explode():
+            raise RuntimeError("strategy crashed")
+
+        def survivor():
+            started.wait(5.0)
+            return "ok"
+
+        race = StrategyRace([("crash", explode), ("live", survivor)],
+                            mode="first")
+        started.set()
+        out = race.run()
+        race.shutdown()
+        assert out.winner == "live"
+        assert isinstance(out.errors["crash"], RuntimeError)
+
+    def test_all_fail_raises_race_error(self):
+        def explode():
+            raise RuntimeError("down")
+
+        race = StrategyRace([("a", explode), ("b", explode)], mode="first")
+        with pytest.raises(RaceError):
+            race.run()
+        race.shutdown()
+
+    def test_deterministic_winner_on_simultaneous_completion(self):
+        # Exact simultaneity: a synchronous executor completes every
+        # candidate before the race inspects the done set, so the
+        # committed winner must be the earlier candidate, every time.
+        class _SyncPool:
+            def submit(self, fn, *args, **kwargs):
+                fut = Future()
+                fut.set_result(fn(*args, **kwargs))
+                return fut
+
+            def shutdown(self, wait=True):
+                pass
+
+        for _ in range(3):
+            race = StrategyRace([("a", lambda: "a"), ("b", lambda: "b")],
+                                mode="first", executor=_SyncPool())
+            out = race.run()
+            assert out.winner == "a"
+            assert out.cancelled == ()
+
+
+class _BrokenSubmitPool:
+    """A process pool whose submit immediately reports it terminated."""
+
+    def submit(self, *args, **kwargs):
+        raise BrokenExecutor("process pool is terminated")
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class _DyingWorkerPool:
+    """Accepts work, but every worker dies before finishing it."""
+
+    def submit(self, *args, **kwargs):
+        fut = Future()
+        fut.set_exception(BrokenExecutor("worker died"))
+        return fut
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestPoolHealth:
+    def test_broken_submit_degrades_best_mode_inline(self):
+        race = StrategyRace([("a", lambda: 2), ("b", lambda: 1)],
+                            executor=_BrokenSubmitPool())
+        out = race.run()
+        assert out.winner == "b"
+        assert out.fallback
+        assert race.stats["fallbacks"] == 1
+
+    def test_dying_workers_rerun_candidates_inline(self):
+        # A BrokenExecutor result is pool health, not strategy health:
+        # the candidate is re-evaluated inline, not recorded as failed.
+        race = StrategyRace([("a", lambda: 2), ("b", lambda: 1)],
+                            executor=_DyingWorkerPool())
+        out = race.run()
+        assert out.winner == "b"
+        assert out.fallback
+        assert out.errors == {}
+        assert race.stats["fallbacks"] == 1
+        assert race.stats["errors"] == 0
+
+    def test_broken_pool_degrades_first_mode_inline(self):
+        race = StrategyRace([("a", lambda: "a"), ("b", lambda: "b")],
+                            mode="first", executor=_BrokenSubmitPool())
+        out = race.run()
+        assert out.winner == "a"  # inline fallback follows candidate order
+        assert out.fallback
+        assert race.stats["fallbacks"] == 1
+
+    def test_inline_fallback_still_raises_real_errors(self):
+        def explode():
+            raise ValueError("genuine failure")
+
+        race = StrategyRace([("only", explode)],
+                            executor=_BrokenSubmitPool())
+        with pytest.raises(RaceError):
+            race.run()
+        assert race.stats["fallbacks"] == 1
+
+
+class TestRaceAllocations:
+    def test_reproducible_winner_and_placements(self):
+        device = ibm_toronto()
+        circuits = [workload(n).circuit() for n in ("adder", "bell", "lin")]
+        first_alloc, first_out = race_allocations(
+            circuits, device, strategies=("qucp", "cna", "qumc"))
+        again_alloc, again_out = race_allocations(
+            circuits, device, strategies=("qucp", "cna", "qumc"))
+        assert first_out.winner == again_out.winner
+        assert first_out.score == again_out.score
+        assert ([a.partition for a in first_alloc.allocations]
+                == [a.partition for a in again_alloc.allocations])
+        assert len(first_alloc.allocations) == len(circuits)
+
+    def test_winner_has_lowest_mean_efs(self):
+        device = ibm_toronto()
+        circuits = [workload(n).circuit() for n in ("adder", "bell")]
+        alloc, out = race_allocations(circuits, device,
+                                      strategies=("qucp", "qumc"))
+        mean = sum(a.efs for a in alloc.allocations) / len(alloc.allocations)
+        assert out.score == pytest.approx(mean)
+
+
+class TestSchedulerRacing:
+    def test_race_wins_recorded_and_reproducible(self, toronto):
+        subs = _stream(["adder", "bell", "lin", "fredkin"], spacing_ns=1e5)
+        scheduler = CloudScheduler(toronto,
+                                   race_allocators=("qumc", "qucloud"))
+        out = scheduler.schedule(subs)
+        assert sum(out.race_wins.values()) == out.num_jobs
+        again = CloudScheduler(
+            toronto,
+            race_allocators=("qumc", "qucloud")).schedule(subs)
+        assert again.race_wins == out.race_wins
+        assert [j.members for j in again.jobs] == [j.members
+                                                   for j in out.jobs]
+        assert again.makespan_ns == out.makespan_ns
+
+    def test_racing_never_admits_fewer_than_the_primary(self, toronto):
+        subs = _stream(["adder", "bell", "lin", "fredkin", "adder"],
+                       spacing_ns=5e4)
+        plain = CloudScheduler(toronto).schedule(subs)
+        raced = CloudScheduler(
+            toronto, race_allocators=("qumc", "qucloud")).schedule(subs)
+        assert len(raced.rejected) <= len(plain.rejected)
+
+    def test_non_incremental_challenger_rejected_at_construction(
+            self, toronto):
+        with pytest.raises(ValueError, match="incremental"):
+            CloudScheduler(toronto, race_allocators=("cna",))
+
+    def test_duplicate_challenger_is_dropped(self, toronto):
+        # Racing the primary against itself is a no-op; the scheduler
+        # must fold it away rather than burn a duplicate evaluation.
+        scheduler = CloudScheduler(toronto, race_allocators=("qucp",))
+        assert scheduler.race is None

@@ -7,6 +7,7 @@ from repro.workloads import (
     poisson_arrival_times,
     sample_workload_mix,
     synthesize_traffic,
+    traffic_rate_sweep,
 )
 
 
@@ -86,3 +87,44 @@ class TestSynthesizeTraffic:
     def test_unknown_pattern_rejected(self):
         with pytest.raises(ValueError):
             synthesize_traffic(4, pattern="fractal")
+
+
+class TestRateSweep:
+    def test_same_programs_at_every_rate(self):
+        sweep = traffic_rate_sweep(10, [1e5, 2e5, 1e6],
+                                   mix="heavy_tail", seed=3)
+        assert list(sweep) == [1e5, 2e5, 1e6]
+        names = [[s.circuit.name for s in subs]
+                 for subs in sweep.values()]
+        assert names[0] == names[1] == names[2]
+        users = [[s.user for s in subs] for subs in sweep.values()]
+        assert users[0] == users[1] == users[2]
+
+    def test_arrivals_scale_linearly_with_rate(self):
+        sweep = traffic_rate_sweep(8, [1e5, 5e5], seed=9)
+        slow = [s.arrival_ns for s in sweep[5e5]]
+        fast = [s.arrival_ns for s in sweep[1e5]]
+        assert slow[0] == fast[0] == 0.0
+        for f, s in zip(fast[1:], slow[1:]):
+            assert s == pytest.approx(5.0 * f)
+
+    def test_deterministic_under_seed(self):
+        first = traffic_rate_sweep(6, [2e5], seed=11)[2e5]
+        again = traffic_rate_sweep(6, [2e5], seed=11)[2e5]
+        assert [(s.circuit.name, s.arrival_ns, s.user, s.priority)
+                for s in first] == [
+                    (s.circuit.name, s.arrival_ns, s.user, s.priority)
+                    for s in again]
+
+    def test_priorities_apply(self):
+        sweep = traffic_rate_sweep(4, [1e5], num_users=2, seed=1,
+                                   user_priorities={"user0": 2})
+        assert [s.priority for s in sweep[1e5]] == [2, 0, 2, 0]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            traffic_rate_sweep(4, [])
+        with pytest.raises(ValueError, match="positive"):
+            traffic_rate_sweep(4, [1e5, -1.0])
+        with pytest.raises(ValueError, match="num_users"):
+            traffic_rate_sweep(4, [1e5], num_users=0)

@@ -249,6 +249,27 @@ class TestOptimize:
         with pytest.raises(ValueError):
             transpile(QuantumCircuit(1), None, optimization_level=7)
 
+    def test_fused_run_memo_is_bit_identical(self):
+        # The fused-run memo (service traffic re-fuses the same few
+        # runs endlessly) must be invisible: a cold fuse and a memoized
+        # fuse of the same circuit produce identical instructions.
+        from repro.transpiler import optimize as opt_mod
+
+        qc = decompose_to_basis(random_circuit(3, 14, seed=8))
+        saved = dict(opt_mod._FUSED_RUNS)
+        try:
+            opt_mod._FUSED_RUNS.clear()
+            cold = optimize_circuit(qc, 3)
+            assert len(opt_mod._FUSED_RUNS) > 0  # the memo populated
+            warm = optimize_circuit(qc, 3)
+            assert [(i.name, i.params, i.qubits) for i in cold] == [
+                (i.name, i.params, i.qubits) for i in warm]
+            assert _equiv_phase(circuit_unitary(qc),
+                                circuit_unitary(warm))
+        finally:
+            opt_mod._FUSED_RUNS.clear()
+            opt_mod._FUSED_RUNS.update(saved)
+
 
 class TestSchedule:
     def test_delays_inserted_in_gaps(self):
