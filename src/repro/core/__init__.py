@@ -36,6 +36,16 @@ from .executor import (
     index_sensitive_transpiler,
     run_batch,
 )
+from .faults import (
+    BreakingExecutor,
+    DeviceOutage,
+    FaultPlan,
+    ResolvedOutage,
+    corrupt_file,
+    inject_broken_process_pool,
+    locked_database,
+    write_foreign_store,
+)
 from .metrics import (
     estimated_fidelity_score,
     hardware_throughput,
@@ -81,10 +91,12 @@ __all__ = [
     "AllocationResult",
     "Allocator",
     "BatchJob",
+    "BreakingExecutor",
     "CloudScheduler",
     "CnaAllocator",
     "CnaCompilation",
     "CompileService",
+    "DeviceOutage",
     "DispatchedBatch",
     "Event",
     "EventKind",
@@ -92,6 +104,7 @@ __all__ = [
     "ExecutionCache",
     "ExecutionOutcome",
     "ExecutionService",
+    "FaultPlan",
     "JobSpec",
     "MultiqcAllocator",
     "OnlineScheduler",
@@ -106,6 +119,7 @@ __all__ = [
     "RaceCandidate",
     "RaceError",
     "RaceOutcome",
+    "ResolvedOutage",
     "ScheduleOutcome",
     "StrategyRace",
     "SubmittedProgram",
@@ -118,6 +132,7 @@ __all__ = [
     "cna_allocate",
     "cna_compile",
     "cna_transpile_for_partition",
+    "corrupt_file",
     "crosstalk_suspect_pairs",
     "estimated_fidelity_score",
     "execute_allocation",
@@ -126,8 +141,10 @@ __all__ = [
     "grow_partition_candidates",
     "hardware_throughput",
     "index_sensitive_transpiler",
+    "inject_broken_process_pool",
     "jensen_shannon_divergence",
     "kl_divergence",
+    "locked_database",
     "multiqc_allocate",
     "normalize_distribution",
     "oracle_characterization",
@@ -141,4 +158,5 @@ __all__ = [
     "run_batch",
     "select_parallel_count",
     "simulate_fifo_queue",
+    "write_foreign_store",
 ]

@@ -3,11 +3,15 @@
 A minimal, deterministic event kernel: timestamped events in a binary
 heap, popped in ``(time, kind, insertion order)`` order.  The kind
 ordering is load-bearing — at one instant, ARRIVAL < COMPLETION <
-DISPATCH, so a program arriving exactly when a device frees up is queued
-before the dispatch decision runs, and a freed device is marked idle
-before dispatch looks for capacity.  That tie-break is what makes the
-event-driven scheduler reproduce the legacy synchronous while-loop
-exactly on single-device traces.
+OUTAGE < RECOVERY < DISPATCH, so a program arriving exactly when a
+device frees up is queued before the dispatch decision runs, a freed
+device is marked idle before dispatch looks for capacity, a batch
+completing exactly when its device fails still counts as completed,
+and an outage or recovery is applied before any same-instant dispatch
+decision can place work on (or skip) the affected device.  That
+tie-break is what makes the event-driven scheduler reproduce the
+legacy synchronous while-loop exactly on single-device traces — and
+what makes fault-plan replays bit-identical.
 """
 
 from __future__ import annotations
@@ -26,7 +30,9 @@ class EventKind(IntEnum):
 
     ARRIVAL = 0      #: a program joins the pending queue
     COMPLETION = 1   #: a device finishes its batch and frees up
-    DISPATCH = 2     #: an opportunity to pack + launch a batch
+    OUTAGE = 2       #: a device goes offline (fault injection)
+    RECOVERY = 3     #: an offline device rejoins the fleet
+    DISPATCH = 4     #: an opportunity to pack + launch a batch
 
 
 @dataclass(frozen=True, order=True)

@@ -47,6 +47,7 @@ from .allocators import (
     resolve_allocator,
 )
 from .events import EventKind, EventQueue
+from .faults import FaultPlan, ResolvedOutage
 from .qucp import DEFAULT_SIGMA, QucpAllocator
 from .racing import StrategyRace
 
@@ -173,6 +174,15 @@ class ScheduleOutcome:
     max_queue_depth: int = 0
     #: Dispatches won per racing candidate (empty without racing).
     race_wins: Dict[str, int] = field(default_factory=dict)
+    #: Why each rejected submission was rejected (typed rejection: the
+    #: service attaches these to its :class:`~repro.service.JobError`).
+    rejection_reasons: Dict[int, str] = field(default_factory=dict)
+    #: Device outages the fault plan injected during this run.
+    outages: int = 0
+    #: Submission indices re-queued after their in-flight batch failed
+    #: under a device outage, in failure order (an index can appear
+    #: more than once under cascading outages).
+    requeued: List[int] = field(default_factory=list)
 
     @property
     def batches(self) -> List[AllocationResult]:
@@ -220,6 +230,11 @@ class ScheduleOutcome:
             "max_queue_depth": int(self.max_queue_depth),
             "race_wins": {str(k): int(v)
                           for k, v in sorted(self.race_wins.items())},
+            "rejection_reasons": {
+                str(i): str(r)
+                for i, r in sorted(self.rejection_reasons.items())},
+            "outages": int(self.outages),
+            "requeued": [int(i) for i in self.requeued],
             "jobs": [job.to_dict() for job in self.jobs],
         }
 
@@ -287,6 +302,17 @@ class CloudScheduler:
         default (``None``) evaluates sequentially — deterministic and
         safe with the allocation engines' un-locked memo tables; pass a
         pool only with thread-safe allocators.
+    fault_plan:
+        Optional :class:`~repro.core.faults.FaultPlan` of device
+        outages, injected into the event stream: at each outage's start
+        time the device goes offline — its in-flight batch (if any)
+        fails and the batch's programs re-queue, in priority order, to
+        the surviving devices — and at the recovery time it rejoins the
+        fleet.  A program that fits only devices that are offline for
+        the rest of the run is rejected (with the reason recorded in
+        :attr:`ScheduleOutcome.rejection_reasons`) instead of stranding
+        the queue.  The plan is pure data, so a committed plan replays
+        the identical failure sequence on every run.
     """
 
     def __init__(
@@ -301,6 +327,7 @@ class CloudScheduler:
         compile_service: "Optional[CompileService]" = None,
         race_allocators: Optional[Sequence[Union[str, Allocator]]] = None,
         race_executor=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if fidelity_threshold < 0:
             raise ValueError("fidelity threshold must be non-negative")
@@ -319,6 +346,11 @@ class CloudScheduler:
         self.max_batch_size = max_batch_size
         self.compile_service = compile_service
         self.race = self._build_race(race_allocators, race_executor)
+        self.fault_plan = fault_plan
+        # Resolve now so a bad plan (unknown device name, ambiguous twin
+        # names) fails at construction, not mid-schedule.
+        self._outages: List[ResolvedOutage] = (
+            fault_plan.resolve(self.fleet) if fault_plan else [])
 
     def _build_race(self, race_allocators, race_executor
                     ) -> Optional[StrategyRace]:
@@ -461,23 +493,56 @@ class CloudScheduler:
         completion: Dict[int, float] = {}
         rejected: List[int] = []
         jobs: List[DispatchedBatch] = []
-        throughputs: List[float] = []
         compile_futures: List = []
         race_wins: Dict[str, int] = {}
         max_queue_depth = 0
+        # Fault-plan state.  ``outage_depth`` counts overlapping outages
+        # (offline == depth > 0); ``eventually_dead`` latches once a
+        # permanent outage fires, so hold-vs-reject decisions know the
+        # device will never serve again.  ``epoch`` invalidates the
+        # COMPLETION event of a batch the outage already failed — heap
+        # events cannot be removed, so stale ones are skipped instead.
+        outage_depth = [0] * n_devices
+        eventually_dead = [False] * n_devices
+        epoch = [0] * n_devices
+        inflight: List[Optional[DispatchedBatch]] = [None] * n_devices
+        requeued: List[int] = []
+        rejection_reasons: Dict[int, str] = {}
+        outage_count = 0
 
         for i, sub in enumerate(submissions):
             events.push(sub.arrival_ns, EventKind.ARRIVAL, i)
+        for out in self._outages:
+            events.push(out.start_ns, EventKind.OUTAGE, out)
+            if out.until_ns is not None:
+                events.push(out.until_ns, EventKind.RECOVERY,
+                            out.device_index)
 
         def fits_somewhere(circuit: QuantumCircuit) -> bool:
             return any(self._solo(d, circuit) is not None
                        for d in range(n_devices))
 
+        def fits_serviceable(circuit: QuantumCircuit) -> bool:
+            return any(self._solo(d, circuit) is not None
+                       for d in range(n_devices)
+                       if not eventually_dead[d])
+
         def dispatch(now: float) -> None:
             nonlocal rr_cursor
             while pending:
-                free = [d for d in range(n_devices) if not busy[d]]
+                free = [d for d in range(n_devices)
+                        if not busy[d] and not outage_depth[d]]
                 if not free:
+                    if all(eventually_dead):
+                        # Nothing left to serve anyone — reject instead
+                        # of stranding the queue (covers programs that
+                        # arrive after the last device dies).
+                        for idx in sorted(pending, key=order_key):
+                            rejection_reasons[idx] = (
+                                "all fleet devices offline for the "
+                                "remainder of the run")
+                            rejected.append(idx)
+                        pending.clear()
                     return
                 # Pick the batch head: the first pending program whose
                 # window has closed and that fits a free device.  A head
@@ -504,13 +569,19 @@ class CloudScheduler:
                     if eligible:
                         head = idx
                         break
-                    if not fits_somewhere(sub.circuit):
+                    if not fits_serviceable(sub.circuit):
+                        rejection_reasons[idx] = (
+                            "fits only devices offline for the remainder "
+                            "of the run" if fits_somewhere(sub.circuit)
+                            else "circuit fits no device coupling map in "
+                                 "the fleet")
                         rejected.append(idx)
                         pending.remove(idx)
                         restart = True
                         break
-                    # Fits only busy devices: hold position, try later
-                    # pending programs on the idle capacity.
+                    # Fits only busy (or recovering) devices: hold
+                    # position, try later pending programs on the idle
+                    # capacity.
                 if restart:
                     continue
                 if head is None:
@@ -551,16 +622,18 @@ class CloudScheduler:
                 busy[chosen] = True
                 load[chosen] += job_len
                 rr_cursor = (chosen + 1) % n_devices
-                throughputs.append(batch.throughput())
-                jobs.append(DispatchedBatch(
-                    chosen, device.name, start, end, batch))
+                dispatched = DispatchedBatch(
+                    chosen, device.name, start, end, batch)
+                jobs.append(dispatched)
+                inflight[chosen] = dispatched
                 if self.compile_service is not None:
                     # Compilation starts the moment the batch is packed
                     # and proceeds on the worker pool while this event
                     # loop keeps scheduling.
                     compile_futures.extend(
                         self.compile_service.submit_allocation(batch))
-                events.push(end, EventKind.COMPLETION, chosen)
+                events.push(end, EventKind.COMPLETION,
+                            (chosen, epoch[chosen]))
 
         for event in events.drain():
             if event.kind is EventKind.ARRIVAL:
@@ -570,7 +643,41 @@ class CloudScheduler:
                 events.push(event.time_ns + self.batch_window_ns,
                             EventKind.DISPATCH)
             elif event.kind is EventKind.COMPLETION:
-                busy[event.payload] = False
+                device_index, job_epoch = event.payload
+                if job_epoch != epoch[device_index]:
+                    continue  # batch already failed under an outage
+                busy[device_index] = False
+                inflight[device_index] = None
+                events.push(event.time_ns, EventKind.DISPATCH)
+            elif event.kind is EventKind.OUTAGE:
+                out = event.payload
+                d = out.device_index
+                outage_count += 1
+                outage_depth[d] += 1
+                if out.until_ns is None:
+                    eventually_dead[d] = True
+                if busy[d]:
+                    # Fail the in-flight batch: its COMPLETION event is
+                    # now stale (epoch bump), its members rejoin the
+                    # queue in priority order and re-dispatch to the
+                    # surviving devices.
+                    batch = inflight[d]
+                    assert batch is not None
+                    epoch[d] += 1
+                    jobs.remove(batch)
+                    load[d] -= batch.end_ns - event.time_ns
+                    busy[d] = False
+                    inflight[d] = None
+                    members = sorted(batch.members, key=order_key)
+                    for i in members:
+                        del completion[i]
+                    pending.extend(members)
+                    pending.sort(key=order_key)
+                    max_queue_depth = max(max_queue_depth, len(pending))
+                    requeued.extend(members)
+                events.push(event.time_ns, EventKind.DISPATCH)
+            elif event.kind is EventKind.RECOVERY:
+                outage_depth[event.payload] -= 1
                 events.push(event.time_ns, EventKind.DISPATCH)
             else:
                 dispatch(event.time_ns)
@@ -583,6 +690,9 @@ class CloudScheduler:
         turnarounds = [
             completion[i] - submissions[i].arrival_ns for i in completion]
         makespan = max(completion.values(), default=0.0)
+        # Computed from the surviving jobs (not accumulated at dispatch
+        # time) so batches an outage failed don't count.
+        throughputs = [job.allocation.throughput() for job in jobs]
         return ScheduleOutcome(
             num_jobs=len(jobs),
             makespan_ns=makespan,
@@ -601,6 +711,9 @@ class CloudScheduler:
             turnaround_p99_ns=percentile(turnarounds, 99),
             max_queue_depth=max_queue_depth,
             race_wins=race_wins,
+            rejection_reasons=rejection_reasons,
+            outages=outage_count,
+            requeued=requeued,
         )
 
 

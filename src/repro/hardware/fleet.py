@@ -59,6 +59,32 @@ class DeviceFleet:
         """Sum of qubit counts across the fleet."""
         return sum(d.num_qubits for d in self.devices)
 
+    def resolve_device(self, ref: Union[int, str]) -> int:
+        """Resolve a device reference (index or name) to a fleet index.
+
+        Fault plans and operator tooling name devices; the scheduler
+        works in indices.  A name must match exactly one device —
+        fleets may legitimately hold twin devices under one name, and
+        an outage on "the" twin would be ambiguous.
+        """
+        if isinstance(ref, bool):
+            raise TypeError("device reference must be an index or a name")
+        if isinstance(ref, int):
+            if not 0 <= ref < len(self.devices):
+                raise ValueError(
+                    f"device index {ref} out of range for a "
+                    f"{len(self.devices)}-device fleet")
+            return ref
+        matches = [i for i, d in enumerate(self.devices) if d.name == ref]
+        if not matches:
+            names = ", ".join(d.name for d in self.devices)
+            raise ValueError(
+                f"unknown device {ref!r}; fleet holds: {names}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"device name {ref!r} is ambiguous: indices {matches}")
+        return matches[0]
+
     def select(
         self,
         eligible: Sequence[int],

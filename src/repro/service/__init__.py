@@ -24,7 +24,12 @@ simulators), shaped like a cloud provider SDK::
   workloads (VQE/QAOA loops).
 - :class:`Result` / :class:`RunMetadata` / :class:`ProgramResult` —
   typed, JSON-serializable results with allocation + compile
-  provenance and queue timings.
+  provenance and queue timings (``from_dict`` inverses for store
+  rehydration).
+- :class:`JobStore` / :class:`RetryPolicy` — the durability layer:
+  crash-recoverable job persistence (``store_path=`` /
+  ``REPRO_JOB_STORE``) with resume-on-restart, and deterministic
+  retry/backoff/timeout handling for every submission.
 
 The free functions this facade fronts —
 :func:`repro.core.execute_allocation`, :func:`repro.core.run_batch`,
@@ -39,24 +44,33 @@ from .backend import (
     CloudBackend,
     SimulatorBackend,
 )
-from .job import Job, JobSet, JobStatus
+from .job import Job, JobError, JobSet, JobStatus
 from .provider import QuantumProvider, UnknownDeviceError, provider
-from .result import ProgramResult, Result, RunMetadata
+from .result import ProgramResult, Result, RunMetadata, ScheduleRecord
+from .retry import JobTimeoutError, RetryPolicy
 from .session import Session
+from .store import JobStore, StoredJob, StoredTransition
 
 __all__ = [
     "BackendConfiguration",
     "BaseBackend",
     "CloudBackend",
     "Job",
+    "JobError",
     "JobSet",
     "JobStatus",
+    "JobStore",
+    "JobTimeoutError",
     "ProgramResult",
     "QuantumProvider",
     "Result",
+    "RetryPolicy",
     "RunMetadata",
+    "ScheduleRecord",
     "Session",
     "SimulatorBackend",
+    "StoredJob",
+    "StoredTransition",
     "UnknownDeviceError",
     "provider",
 ]

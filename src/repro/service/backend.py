@@ -50,6 +50,7 @@ from ..core.executor import (
     execute_allocation,
     run_batch,
 )
+from ..core.faults import FaultPlan
 from ..core.scheduler import (
     CloudScheduler,
     ScheduleOutcome,
@@ -59,7 +60,7 @@ from ..core.scheduler import (
 from ..hardware.devices import Device
 from ..hardware.fleet import DeviceFleet
 from ..sim.readout import SeedLike
-from .job import Job, JobSet
+from .job import Job, JobError, JobSet
 from .result import Result, RunMetadata, build_program_results
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -103,6 +104,9 @@ class BackendConfiguration:
     scheduling: str = "alap"
     #: Whether the simulation applies the crosstalk model.
     include_crosstalk: bool = True
+    #: Deterministic device-outage plan injected into the scheduler's
+    #: event stream (chaos testing; ``None`` = a healthy fleet).
+    fault_plan: Optional[FaultPlan] = None
 
     def replace(self, **overrides) -> "BackendConfiguration":
         """A copy with *overrides* applied (``None`` values ignored)."""
@@ -286,7 +290,22 @@ class SimulatorBackend(BaseBackend):
             return self._build_result(job_id, alloc, outcomes, cfg.shots,
                                       deltas)
 
-        return self._provider._submit_job(self, execute)
+        # Replay spec for the durable job store: enough pure data to
+        # re-run this submission after a crash.  A live transpiler hook
+        # is not replayable (it cannot be persisted faithfully).
+        spec = None
+        if transpiler_fn is None:
+            spec = {
+                "kind": "simulator",
+                "backend_name": self._name,
+                "device": self._device,
+                "configuration": cfg,
+                "payload": (allocation if allocation is not None
+                            else to_allocate),
+                "allocator": chosen,
+                "seed": seed,
+            }
+        return self._provider._submit_job(self, execute, spec=spec)
 
     def run_sweep(
         self,
@@ -397,6 +416,7 @@ class CloudBackend(BaseBackend):
             compile_service=(self._provider.compile_service
                              if with_compile_service else None),
             race_allocators=cfg.race_allocators,
+            fault_plan=cfg.fault_plan,
         )
 
     def run(
@@ -437,6 +457,14 @@ class CloudBackend(BaseBackend):
                                        with_compile_service=prefetch)
             before = self._metadata_counters()
             outcome = scheduler.schedule(subs)
+            if outcome.rejected and not outcome.completion_ns:
+                # Nothing survived admission: a deterministic, typed
+                # failure (partial rejections complete normally and
+                # list the casualties in the metadata instead).
+                raise JobError(
+                    f"all {len(subs)} submissions were rejected",
+                    job_id=job_id,
+                    reasons=outcome.rejection_reasons)
             outcomes: List[List[ExecutionOutcome]] = []
             if execute:
                 batch_jobs = [
@@ -462,7 +490,19 @@ class CloudBackend(BaseBackend):
             return self._build_result(job_id, subs, outcome, outcomes,
                                       cfg.shots, deltas)
 
-        return self._provider._submit_job(self, serve)
+        spec = None
+        if transpiler_fn is None:
+            spec = {
+                "kind": "cloud",
+                "backend_name": self._name,
+                "fleet": self._fleet,
+                "configuration": cfg,
+                "submissions": subs,
+                "allocator": chosen,
+                "seed": seed,
+                "execute": execute,
+            }
+        return self._provider._submit_job(self, serve, spec=spec)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -513,6 +553,9 @@ class CloudBackend(BaseBackend):
             execution_chunks=deltas["execution_chunks"],
             execution_fallbacks=deltas["execution_fallbacks"],
             races=sum(outcome.race_wins.values()),
+            rejection_reasons=tuple(sorted(
+                (int(i), str(r))
+                for i, r in outcome.rejection_reasons.items())),
         )
         device_names = [job.device_name for job in outcome.jobs]
         programs = build_program_results(outcomes, device_names,

@@ -19,13 +19,14 @@ import enum
 import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Callable, Iterator, List, Mapping,
+                    Optional, Sequence, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .backend import BaseBackend
     from .result import Result
 
-__all__ = ["JobStatus", "Job", "JobSet"]
+__all__ = ["JobStatus", "JobError", "Job", "JobSet"]
 
 
 class JobStatus(enum.Enum):
@@ -33,6 +34,10 @@ class JobStatus(enum.Enum):
 
     QUEUED = "queued"
     RUNNING = "running"
+    #: Between attempts under a :class:`~repro.service.RetryPolicy`:
+    #: the last attempt failed and the job is backing off before the
+    #: next one.  Not final — the job returns to RUNNING.
+    RETRYING = "retrying"
     DONE = "done"
     CANCELLED = "cancelled"
     ERROR = "error"
@@ -44,6 +49,52 @@ class JobStatus(enum.Enum):
                         JobStatus.ERROR)
 
 
+class JobError(RuntimeError):
+    """Structured job failure: what failed, and why, per program.
+
+    Raised (and surfaced through :meth:`Job.result`) when a job cannot
+    produce any result — most prominently when the scheduler rejected
+    *every* submission.  ``reasons`` maps submission index to the
+    rejection reason; partial rejections do **not** raise (the job
+    completes and lists them in ``Result.metadata.rejected`` /
+    ``rejection_reasons``).
+
+    Deterministic by construction, so it is non-retryable under the
+    default :class:`~repro.service.RetryPolicy`.
+    """
+
+    def __init__(self, message: str, job_id: str = "",
+                 reasons: Optional[Mapping[int, str]] = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.reasons = dict(reasons or {})
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.reasons:
+            return base
+        detail = "; ".join(f"program {i}: {reason}" for i, reason
+                           in sorted(self.reasons.items()))
+        return f"{base} ({detail})"
+
+
+class _JobState:
+    """Mutable run state shared between a job handle and the pool task.
+
+    The retry wrapper updates it from inside the worker; the handle's
+    :meth:`Job.status` reads it without locking (single-writer,
+    monotonic fields — a torn read returns an adjacent state, never an
+    invalid one).
+    """
+
+    __slots__ = ("attempts", "retrying", "last_error")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retrying = False
+        self.last_error: Optional[BaseException] = None
+
+
 class Job:
     """Handle of one asynchronous submission.
 
@@ -53,11 +104,15 @@ class Job:
     :meth:`~repro.service.QuantumProvider.job`.
     """
 
-    def __init__(self, job_id: str, backend: "BaseBackend",
-                 future: "Future[Result]") -> None:
+    def __init__(self, job_id: str, backend: "Union[BaseBackend, str]",
+                 future: "Future[Result]",
+                 state: Optional[_JobState] = None,
+                 on_cancel: Optional[Callable[[], None]] = None) -> None:
         self._job_id = job_id
         self._backend = backend
         self._future = future
+        self._state = state or _JobState()
+        self._on_cancel = on_cancel
 
     # ------------------------------------------------------------------
     @property
@@ -66,9 +121,15 @@ class Job:
         return self._job_id
 
     @property
-    def backend(self) -> "BaseBackend":
-        """The backend this job was submitted to."""
+    def backend(self) -> "Union[BaseBackend, str]":
+        """The backend this job was submitted to (its name, for jobs
+        rehydrated from a store after a restart)."""
         return self._backend
+
+    @property
+    def attempts(self) -> int:
+        """Attempts started so far (1 for a job that never retried)."""
+        return max(1, self._state.attempts)
 
     # ------------------------------------------------------------------
     def status(self) -> JobStatus:
@@ -76,11 +137,16 @@ class Job:
         fut = self._future
         if fut.cancelled():
             return JobStatus.CANCELLED
-        if fut.running():
-            return JobStatus.RUNNING
         if fut.done():
             return (JobStatus.ERROR if fut.exception() is not None
                     else JobStatus.DONE)
+        # The retry wrapper runs *inside* the pool task, so the future
+        # stays RUNNING through backoff sleeps — the shared state is
+        # what distinguishes an attempt from the gap between attempts.
+        if self._state.retrying:
+            return JobStatus.RETRYING
+        if fut.running():
+            return JobStatus.RUNNING
         return JobStatus.QUEUED
 
     def done(self) -> bool:
@@ -94,7 +160,10 @@ class Job:
         simulation kernels hold no cancellation points); it runs to
         completion and reports DONE.
         """
-        return self._future.cancel()
+        cancelled = self._future.cancel()
+        if cancelled and self._on_cancel is not None:
+            self._on_cancel()
+        return cancelled
 
     def result(self, timeout: Optional[float] = None) -> "Result":
         """Block until the job finishes and return its :class:`Result`.
@@ -120,7 +189,8 @@ class Job:
         return self.status()
 
     def __repr__(self) -> str:
-        return (f"<Job {self._job_id} on {self._backend.name!r}: "
+        name = getattr(self._backend, "name", self._backend)
+        return (f"<Job {self._job_id} on {name!r}: "
                 f"{self.status().value}>")
 
 
@@ -181,14 +251,30 @@ class JobSet:
         while True:
             yield max(0.0, deadline - time.monotonic())
 
-    def results(self, timeout: Optional[float] = None) -> "List[Result]":
+    def results(self, timeout: Optional[float] = None,
+                return_exceptions: bool = False
+                ) -> "List[Union[Result, BaseException]]":
         """Block for every member's result, in submission order.
 
         *timeout* (seconds) bounds the whole call; ``TimeoutError`` if
         it elapses before every member finished.
+
+        With ``return_exceptions=True`` a failed (or cancelled, or
+        timed-out) member contributes its exception at its position
+        instead of aborting the whole call — one ERROR member no longer
+        forfeits the results of the ones after it.
         """
         steps = self._deadline_steps(timeout)
-        return [job.result(step) for job, step in zip(self._jobs, steps)]
+        if not return_exceptions:
+            return [job.result(step)
+                    for job, step in zip(self._jobs, steps)]
+        collected: "List[Union[Result, BaseException]]" = []
+        for job, step in zip(self._jobs, steps):
+            try:
+                collected.append(job.result(step))
+            except (CancelledError, Exception) as exc:  # noqa: B014
+                collected.append(exc)
+        return collected
 
     def wait(self, timeout: Optional[float] = None) -> List[JobStatus]:
         """Block until every member is final (or the overall *timeout*

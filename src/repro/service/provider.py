@@ -25,13 +25,17 @@ Most callers want the module-level :func:`provider` accessor::
 
 from __future__ import annotations
 
+import dataclasses
 import difflib
 import os
+import pickle
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..core.allocators import AllocationResult
 from ..core.compile_service import CompileService
 from ..core.execution_service import ExecutionService
 from ..core.executor import _UNSET, ExecutionCache
@@ -48,9 +52,11 @@ from .backend import (
     CloudBackend,
     SimulatorBackend,
 )
-from .job import Job
+from .job import Job, _JobState
 from .result import Result
+from .retry import RetryPolicy
 from .session import Session
+from .store import JobStore, StoredJob
 
 __all__ = ["QuantumProvider", "UnknownDeviceError", "provider"]
 
@@ -90,6 +96,9 @@ DeviceLike = Union[str, Device]
 
 #: Environment variable supplying the default persistent-store path.
 _CACHE_PATH_ENV = "REPRO_CACHE_PATH"
+
+#: Environment variable supplying the default durable job-store path.
+_JOB_STORE_ENV = "REPRO_JOB_STORE"
 
 
 class QuantumProvider:
@@ -136,10 +145,25 @@ class QuantumProvider:
     job_history:
         Bound on the job registry.  Finished jobs beyond it (oldest
         first) are evicted so their Results can be reclaimed —
-        ``provider.job(old_id)`` then raises KeyError.  ``None``
-        (default) keeps every handle, which is fine interactively but
-        grows without bound in a long-lived service; set it (like
-        *cache_entries*) for service deployments.
+        ``provider.job(old_id)`` then raises KeyError (unless a durable
+        store still holds the result, which :meth:`job` falls back to).
+        ``None`` (default) keeps every handle, which is fine
+        interactively but grows without bound in a long-lived service;
+        set it (like *cache_entries*) for service deployments.
+    store_path:
+        Location of a durable :class:`~repro.service.JobStore` (SQLite
+        WAL).  Every submission, status transition, and completed
+        ``Result`` payload is persisted there, and a fresh provider
+        opened on the same store **resumes**: completed results are
+        re-served bit-identically, and jobs that were QUEUED/RUNNING
+        at crash time are re-queued from their stored replay specs.
+        When omitted, the ``REPRO_JOB_STORE`` environment variable is
+        consulted; unset means in-memory jobs only.
+    retry_policy:
+        A :class:`~repro.service.RetryPolicy` applied to every job:
+        failed attempts retry with deterministic exponential backoff,
+        optionally bounded by a per-attempt timeout.  ``None``
+        (default) runs each job exactly once.
     """
 
     def __init__(
@@ -153,12 +177,15 @@ class QuantumProvider:
         execution_workers: Optional[int] = None,
         job_workers: int = 1,
         job_history: Optional[int] = None,
+        store_path: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if job_workers < 1:
             raise ValueError("job_workers must be at least 1")
         if job_history is not None and job_history < 1:
             raise ValueError("job_history must be at least 1")
         self.job_history = job_history
+        self.retry_policy = retry_policy
         # The lock guards device registration and the job registry; it
         # must exist before the first add_device call below.
         self._lock = threading.Lock()
@@ -179,6 +206,18 @@ class QuantumProvider:
         self._job_counter = 0
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._closed = False
+        # Resume bookkeeping: while _resume_id is set, _submit_job
+        # reuses that id instead of allocating a fresh one (only ever
+        # set from __init__, before any concurrent submission exists).
+        self._resume_id: Optional[str] = None
+        self._resume_number = 0
+        self._store: Optional[JobStore] = None
+        if store_path is None:
+            store_path = os.environ.get(_JOB_STORE_ENV) or None
+        if store_path is not None:
+            self._store = JobStore(store_path)
+            self._job_counter = self._store.max_job_number()
+            self._recover()
 
     # ------------------------------------------------------------------
     # device discovery
@@ -293,18 +332,125 @@ class QuantumProvider:
         return Session(backend, **kwargs)
 
     # ------------------------------------------------------------------
+    # resume-on-restart
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the job registry from the durable store.
+
+        Finished jobs come back as resolved handles (completed results
+        re-served **bit-identically** from their stored payloads);
+        QUEUED/RUNNING/RETRYING jobs — interrupted by whatever killed
+        the previous provider — are re-queued from their replay specs
+        under their original ids.
+        """
+        assert self._store is not None
+        for record in self._store.jobs():
+            if record.is_pending:
+                self._resume_record(record)
+            else:
+                self._jobs[record.job_id] = self._rehydrated_handle(
+                    record)
+
+    @staticmethod
+    def _rehydrated_handle(record: StoredJob) -> Job:
+        """A resolved job handle for a stored final-state record."""
+        future: "Future[Result]" = Future()
+        state = _JobState()
+        state.attempts = record.attempts
+        if record.status == "done" and record.result is not None:
+            future.set_result(Result.from_dict(record.result))
+        elif record.status == "cancelled":
+            future.cancel()
+        else:
+            future.set_exception(RuntimeError(
+                record.error
+                or f"job {record.job_id} failed before restart"))
+        return Job(record.job_id, record.backend_name, future,
+                   state=state)
+
+    def _resume_record(self, record: StoredJob) -> None:
+        """Re-queue one interrupted job from its stored replay spec."""
+        spec = None
+        if record.spec is not None:
+            try:
+                spec = pickle.loads(record.spec)
+            except Exception:  # noqa: BLE001 - damaged spec = no replay
+                spec = None
+        if spec is None:
+            assert self._store is not None
+            error = ("interrupted before completion and not "
+                     "replayable (no usable replay spec)")
+            self._store.record_transition(record.job_id, "error",
+                                          error=error)
+            future: "Future[Result]" = Future()
+            future.set_exception(RuntimeError(
+                f"job {record.job_id} was {error}"))
+            self._jobs[record.job_id] = Job(
+                record.job_id, record.backend_name, future)
+            return
+        self._resume_id = record.job_id
+        self._resume_number = record.job_number
+        try:
+            cfg = spec["configuration"]
+            if spec["kind"] == "simulator":
+                backend: BaseBackend = SimulatorBackend(
+                    spec["backend_name"], self, spec["device"], cfg)
+                payload = spec["payload"]
+                if isinstance(payload, AllocationResult):
+                    # The backend wraps the unpickled allocation's own
+                    # device instance, satisfying run()'s identity check.
+                    backend.run(payload, seed=spec["seed"])
+                else:
+                    backend.run(payload, seed=spec["seed"],
+                                allocator=spec["allocator"])
+            else:
+                backend = CloudBackend(
+                    spec["backend_name"], self, spec["fleet"], cfg)
+                backend.run(spec["submissions"], seed=spec["seed"],
+                            allocator=spec["allocator"],
+                            execute=spec["execute"])
+        finally:
+            self._resume_id = None
+            self._resume_number = 0
+
+    # ------------------------------------------------------------------
     # the job pool
     # ------------------------------------------------------------------
     def _submit_job(self, backend: BaseBackend,
-                    fn: Callable[[str], Result]) -> Job:
-        """Allocate an id, queue *fn* on the pool, return the handle."""
+                    fn: Callable[[str], Result],
+                    spec: Optional[dict] = None) -> Job:
+        """Allocate an id, queue *fn* on the pool, return the handle.
+
+        *spec* is the submission's replay recipe — pickled into the
+        durable store (when one is attached) so a restarted provider
+        can re-run the job; ``None`` marks it non-replayable.
+        """
+        store = self._store
         with self._lock:
             if self._closed:
                 raise RuntimeError("provider is shut down")
-            self._job_counter += 1
-            job_id = f"job-{self._job_counter:06d}"
-        future = self._pool.submit(fn, job_id)
-        job = Job(job_id, backend, future)
+            if self._resume_id is not None:
+                job_id, number = self._resume_id, self._resume_number
+            else:
+                self._job_counter += 1
+                number = self._job_counter
+                job_id = f"job-{number:06d}"
+        if store is not None:
+            blob = None
+            if spec is not None:
+                try:
+                    blob = pickle.dumps(spec)
+                except Exception:  # noqa: BLE001 - best-effort durability
+                    blob = None
+            store.record_submission(job_id, number, backend.name, blob)
+        state = _JobState()
+        future = self._pool.submit(self._run_job, fn, job_id, state)
+        on_cancel = None
+        if store is not None:
+            def on_cancel(job_id=job_id):  # noqa: E731 - closure per job
+                store.record_transition(job_id, "cancelled")
+        job = Job(job_id, backend, future, state=state,
+                  on_cancel=on_cancel)
         with self._lock:
             self._jobs[job_id] = job
             if self.job_history is not None:
@@ -318,10 +464,63 @@ class QuantumProvider:
                         del self._jobs[jid]
         return job
 
+    def _run_job(self, fn: Callable[[str], Result], job_id: str,
+                 state: _JobState) -> Result:
+        """Pool-side wrapper: retry policy + durable transitions."""
+        policy = self.retry_policy
+        store = self._store
+        max_attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(1, max_attempts + 1):
+            state.attempts = attempt
+            state.retrying = False
+            if store is not None:
+                store.record_transition(job_id, "running",
+                                        attempt=attempt)
+            try:
+                if policy is not None:
+                    result = policy.run_attempt(
+                        lambda: fn(job_id), job_id, attempt)
+                else:
+                    result = fn(job_id)
+            except BaseException as exc:
+                state.last_error = exc
+                if (policy is None or attempt >= max_attempts
+                        or not policy.retries(exc)):
+                    if store is not None:
+                        store.record_transition(job_id, "error",
+                                                attempt=attempt,
+                                                error=str(exc))
+                    raise
+                state.retrying = True
+                if store is not None:
+                    store.record_transition(job_id, "retrying",
+                                            attempt=attempt,
+                                            error=str(exc))
+                time.sleep(policy.delay_s(job_id, attempt))
+                continue
+            if attempt > 1 and isinstance(result, Result):
+                result.metadata = dataclasses.replace(
+                    result.metadata, attempts=attempt)
+            if store is not None:
+                store.record_transition(job_id, "done", attempt=attempt)
+                if isinstance(result, Result):
+                    store.record_result(job_id, result.to_dict())
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def job(self, job_id: str) -> Job:
-        """Resolve a handle by its stable id."""
+        """Resolve a handle by its stable id.
+
+        Handles evicted from the registry (``job_history``) are
+        transparently rebuilt from the durable store when one is
+        attached and still holds the job.
+        """
         with self._lock:
             found = self._jobs.get(job_id)
+        if found is None and self._store is not None:
+            record = self._store.get(job_id)
+            if record is not None and not record.is_pending:
+                return self._rehydrated_handle(record)
         if found is None:
             raise KeyError(f"unknown job id {job_id!r}")
         return found
@@ -355,6 +554,16 @@ class QuantumProvider:
         """Path of the attached persistent store, or ``None``."""
         return self.cache.store_path
 
+    @property
+    def store(self) -> Optional[JobStore]:
+        """The attached durable job store, or ``None``."""
+        return self._store
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Path of the attached durable job store, or ``None``."""
+        return None if self._store is None else self._store.path
+
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
         """Stop the job pool, the compile and execution services.
@@ -369,6 +578,8 @@ class QuantumProvider:
         self._pool.shutdown(wait=wait)
         self.compile_service.shutdown(wait=wait)
         self.execution_service.shutdown(wait=wait)
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "QuantumProvider":
         return self

@@ -17,17 +17,25 @@ benchmark writes to ``BENCH_scheduler.json``), and
 ``to_dict(include_outcomes=True)`` adds the raw per-hardware-job
 :meth:`ExecutionOutcome.to_dict` rows — so job results and benchmark
 artifacts share one on-disk format.
+
+``from_dict`` is the exact inverse the durable
+:class:`~repro.service.JobStore` needs: a result rehydrated from its
+stored payload serializes back **bit-identically** (``to_dict`` of the
+round-trip equals the original payload).  Rehydrated results carry a
+:class:`ScheduleRecord` — a read-only view over the stored schedule
+summary — in place of the live engine :class:`ScheduleOutcome`.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.executor import ExecutionOutcome
 from ..core.scheduler import ScheduleOutcome, json_safe_num
 
-__all__ = ["ProgramResult", "RunMetadata", "Result"]
+__all__ = ["ProgramResult", "RunMetadata", "Result", "ScheduleRecord"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,27 @@ class ProgramResult:
                               else float(self.turnaround_ns)),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProgramResult":
+        """Inverse of :meth:`to_dict` (store rehydration)."""
+        turnaround = payload.get("turnaround_ns")
+        return cls(
+            index=int(payload["index"]),
+            circuit_name=str(payload["circuit_name"]),
+            partition=tuple(int(q) for q in payload["partition"]),
+            efs=float(payload["efs"]),
+            counts={str(k): int(v)
+                    for k, v in payload["counts"].items()},
+            probabilities={str(k): float(v)
+                           for k, v in payload["probabilities"].items()},
+            pst=float(payload["pst"]),
+            jsd=float(payload["jsd"]),
+            device_name=str(payload["device_name"]),
+            hardware_job=int(payload["hardware_job"]),
+            turnaround_ns=(None if turnaround is None
+                           else float(turnaround)),
+        )
+
 
 @dataclass(frozen=True)
 class RunMetadata:
@@ -119,6 +148,13 @@ class RunMetadata:
     #: Hedged allocator races the scheduler ran for this job (0 when
     #: the backend has no ``race_allocators`` configured).
     races: int = 0
+    #: Attempts the provider's retry policy spent before this result
+    #: (1 = the first try succeeded; see ``RetryPolicy``).
+    attempts: int = 1
+    #: Why each rejected submission was rejected: ``(index, reason)``
+    #: pairs, sorted by index (tuple-of-tuples so the dataclass stays
+    #: hashable).  Empty for direct simulator runs.
+    rejection_reasons: Tuple[Tuple[int, str], ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (NaN timings become ``None``)."""
@@ -142,7 +178,81 @@ class RunMetadata:
             "execution_chunks": int(self.execution_chunks),
             "execution_fallbacks": int(self.execution_fallbacks),
             "races": int(self.races),
+            "attempts": int(self.attempts),
+            "rejection_reasons": {str(i): str(r) for i, r
+                                  in self.rejection_reasons},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunMetadata":
+        """Inverse of :meth:`to_dict` (store rehydration).
+
+        ``None`` timings stay ``None`` — the serialized null is the
+        canonical spelling of a NaN timing, so the round-trip
+        ``to_dict(from_dict(d)) == d`` holds exactly.
+        """
+        makespan = payload.get("makespan_ns")
+        turnaround = payload.get("mean_turnaround_ns")
+        reasons = payload.get("rejection_reasons") or {}
+        return cls(
+            job_id=str(payload["job_id"]),
+            backend_name=str(payload["backend_name"]),
+            method=str(payload["method"]),
+            shots=int(payload["shots"]),
+            num_programs=int(payload["num_programs"]),
+            num_hardware_jobs=int(payload["num_hardware_jobs"]),
+            throughput=float(payload["throughput"]),
+            makespan_ns=None if makespan is None else float(makespan),
+            mean_turnaround_ns=(None if turnaround is None
+                                else float(turnaround)),
+            rejected=tuple(int(i) for i in payload.get("rejected", ())),
+            compile_requests=int(payload.get("compile_requests", 0)),
+            transpile_hits=int(payload.get("transpile_hits", 0)),
+            transpile_misses=int(payload.get("transpile_misses", 0)),
+            cache_evictions=int(payload.get("cache_evictions", 0)),
+            cache_promotions=int(payload.get("cache_promotions", 0)),
+            execution_batches=int(payload.get("execution_batches", 0)),
+            execution_chunks=int(payload.get("execution_chunks", 0)),
+            execution_fallbacks=int(
+                payload.get("execution_fallbacks", 0)),
+            races=int(payload.get("races", 0)),
+            attempts=int(payload.get("attempts", 1)),
+            rejection_reasons=tuple(sorted(
+                (int(i), str(r)) for i, r in reasons.items())),
+        )
+
+
+class ScheduleRecord:
+    """Read-only view over a *stored* schedule summary.
+
+    Rehydrated results carry one of these in place of the live engine
+    :class:`~repro.core.ScheduleOutcome`: the stored JSON payload is
+    the authority, field access reads through to it (``record.num_jobs``,
+    ``record.rejected``, ...), and :meth:`to_dict` returns the payload
+    verbatim — which is what makes the store's round-trip bit-identical
+    without re-deriving engine objects from their serialized form.
+    """
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        object.__setattr__(self, "_payload", copy.deepcopy(payload))
+
+    def __getattr__(self, name: str) -> object:
+        try:
+            return copy.deepcopy(self._payload[name])
+        except KeyError:
+            raise AttributeError(
+                f"stored schedule has no field {name!r}") from None
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ScheduleRecord is read-only")
+
+    def to_dict(self) -> Dict[str, object]:
+        """The stored payload, verbatim (a defensive copy)."""
+        return copy.deepcopy(self._payload)
+
+    def __repr__(self) -> str:
+        return (f"<ScheduleRecord: {self._payload.get('num_jobs')} "
+                "jobs (rehydrated)>")
 
 
 @dataclass
@@ -152,15 +262,17 @@ class Result:
     ``programs`` holds one :class:`ProgramResult` per *completed*
     submission, in submission order (rejected submissions are listed in
     ``metadata.rejected``).  ``schedule`` is the discrete-event
-    :class:`~repro.core.ScheduleOutcome` for scheduler-backed runs and
-    ``None`` for direct simulator runs; ``outcomes`` are the raw
-    per-hardware-job :class:`~repro.core.ExecutionOutcome` lists (empty
-    when the run was scheduled with ``execute=False``).
+    :class:`~repro.core.ScheduleOutcome` for scheduler-backed runs
+    (a :class:`ScheduleRecord` for results rehydrated from a job
+    store) and ``None`` for direct simulator runs; ``outcomes`` are the
+    raw per-hardware-job :class:`~repro.core.ExecutionOutcome` lists
+    (empty when the run was scheduled with ``execute=False`` — and for
+    rehydrated results, which store only the JSON-safe form).
     """
 
     metadata: RunMetadata
     programs: List[ProgramResult] = field(default_factory=list)
-    schedule: Optional[ScheduleOutcome] = None
+    schedule: Optional[Union[ScheduleOutcome, ScheduleRecord]] = None
     outcomes: List[List[ExecutionOutcome]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -214,6 +326,25 @@ class Result:
             payload["outcomes"] = [
                 [out.to_dict() for out in job] for job in self.outcomes]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Result":
+        """Inverse of :meth:`to_dict` (store rehydration).
+
+        The round-trip is bit-identical: ``from_dict(d).to_dict() == d``
+        for any ``to_dict(include_outcomes=False)`` payload.  Raw
+        engine outcomes are not stored, so ``outcomes`` comes back
+        empty and ``schedule`` as a :class:`ScheduleRecord`.
+        """
+        schedule = payload.get("schedule")
+        return cls(
+            metadata=RunMetadata.from_dict(payload["metadata"]),
+            programs=[ProgramResult.from_dict(p)
+                      for p in payload.get("programs", [])],
+            schedule=None if schedule is None else ScheduleRecord(
+                schedule),
+            outcomes=[],
+        )
 
     def __repr__(self) -> str:
         return (f"<Result {self.metadata.job_id}: "

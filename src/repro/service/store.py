@@ -1,0 +1,389 @@
+"""Durable job store: submissions, transitions, and results on disk.
+
+:class:`JobStore` is the service layer's crash-recovery substrate — a
+SQLite (WAL-mode) mirror of everything the in-memory
+:class:`~repro.service.QuantumProvider` job pool knows: each submission
+(with a pickled replay spec), every :class:`~repro.service.JobStatus`
+transition with wall-clock timestamps, attempt counts, error text, and
+the final :meth:`~repro.service.Result.to_dict` payload.  A fresh
+provider opened on the same store re-serves completed results
+bit-identically and re-queues whatever was QUEUED/RUNNING at crash
+time (see ``QuantumProvider(store_path=...)``).
+
+The store is **memory-primary**: an in-process dict is the authority
+and SQLite is the durable write-through mirror.  That makes the
+failure policy identical to :class:`~repro.cache.PersistentCache` —
+the template this module copies deliberately: a corrupt, foreign,
+newer-schema, or locked database disables *the mirror* with a single
+:class:`RuntimeWarning`, and the provider keeps running (jobs just
+stop being durable), never crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .job import JobStatus
+
+__all__ = ["JobStore", "StoredJob", "StoredTransition"]
+
+#: Bump when the table layout changes; newer-schema stores are left
+#: untouched (disabled with a warning) instead of being misread.
+_SCHEMA_VERSION = 1
+
+#: Tables a job store may legitimately contain.  Anything else (for
+#: example a compile cache's ``artifacts`` table — the two stores share
+#: the ``meta`` convention) marks the file as someone else's database.
+_OWN_TABLES = frozenset({"meta", "jobs", "transitions", "sqlite_sequence"})
+
+#: Statuses that survive a restart as work-to-redo.
+_PENDING_STATUSES = frozenset({"queued", "running", "retrying"})
+
+
+def _status_value(status: Union[str, "JobStatus"]) -> str:
+    """Accept a :class:`~repro.service.JobStatus` or its string value."""
+    return str(getattr(status, "value", status))
+
+
+@dataclass(frozen=True)
+class StoredJob:
+    """One job's durable record (a snapshot — reads return copies)."""
+
+    job_id: str
+    #: Ordinal used to continue the provider's ``job-NNNNNN`` sequence.
+    job_number: int
+    backend_name: str
+    status: str
+    attempts: int = 0
+    error: Optional[str] = None
+    #: Pickled replay spec (how to re-run the job), or ``None`` when the
+    #: submission is not replayable (e.g. carried a live callable).
+    spec: Optional[bytes] = None
+    #: ``Result.to_dict()`` payload once the job completed.
+    result: Optional[Dict[str, object]] = None
+    submitted: float = 0.0
+    updated: float = 0.0
+
+    @property
+    def is_pending(self) -> bool:
+        """Whether a restart should re-run this job."""
+        return self.status in _PENDING_STATUSES
+
+
+@dataclass(frozen=True)
+class StoredTransition:
+    """One status-transition row of a job's audit trail."""
+
+    job_id: str
+    status: str
+    attempt: int
+    error: Optional[str]
+    time: float
+
+
+class JobStore:
+    """Durable job ledger: memory-primary with a SQLite mirror.
+
+    Parameters
+    ----------
+    path:
+        Store file location; parent directories are created.  Opening
+        an existing store loads its rows into memory (that is what
+        resume-on-restart reads).
+    timeout:
+        Seconds a writer waits on a locked database before the mirror
+        degrades (SQLite busy timeout).  Shorter than the compile
+        cache's: a wedged job store should degrade fast, not stall
+        submissions.
+    """
+
+    def __init__(self, path: str, timeout: float = 5.0) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._records: Dict[str, StoredJob] = {}
+        self._transitions: List[StoredTransition] = []
+        self.disabled = False
+        self.writes = 0
+        self.errors = 0
+        self.loaded = 0
+        try:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            # Same connection discipline as the persistent compile
+            # cache: autocommit so concurrent openers never deadlock on
+            # a half-open transaction, check_same_thread=False because
+            # job-pool workers record transitions (all access is
+            # serialized by self._lock).
+            conn = sqlite3.connect(self.path, timeout=timeout,
+                                   isolation_level=None,
+                                   check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            tables = {row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'")}
+            foreign = tables - _OWN_TABLES
+            if foreign:
+                conn.close()
+                raise sqlite3.DatabaseError(
+                    "file belongs to another application (unexpected "
+                    f"tables: {', '.join(sorted(foreign))})")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES "
+                "('schema_version', ?)", (str(_SCHEMA_VERSION),))
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES "
+                "('kind', 'jobs')")
+            rows = dict(conn.execute(
+                "SELECT key, value FROM meta WHERE key IN "
+                "('schema_version', 'kind')").fetchall())
+            if rows.get("kind") != "jobs":
+                conn.close()
+                raise sqlite3.DatabaseError(
+                    f"not a job store (kind={rows.get('kind')!r})")
+            if int(rows.get("schema_version", -1)) != _SCHEMA_VERSION:
+                conn.close()
+                raise sqlite3.DatabaseError(
+                    "unsupported job store schema version "
+                    f"{rows.get('schema_version')!r} (this build reads "
+                    f"version {_SCHEMA_VERSION})")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS jobs ("
+                "  job_id TEXT PRIMARY KEY,"
+                "  job_number INTEGER NOT NULL,"
+                "  backend TEXT NOT NULL,"
+                "  status TEXT NOT NULL,"
+                "  attempts INTEGER NOT NULL DEFAULT 0,"
+                "  error TEXT,"
+                "  spec BLOB,"
+                "  result TEXT,"
+                "  submitted REAL NOT NULL,"
+                "  updated REAL NOT NULL)")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS transitions ("
+                "  seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                "  job_id TEXT NOT NULL,"
+                "  status TEXT NOT NULL,"
+                "  attempt INTEGER NOT NULL,"
+                "  error TEXT,"
+                "  time REAL NOT NULL)")
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS transitions_job "
+                "ON transitions (job_id, seq)")
+            self._conn = conn
+            self._load()
+        except (sqlite3.Error, OSError, ValueError) as exc:
+            self._disable(exc)
+
+    # ------------------------------------------------------------------
+    def _disable(self, exc: BaseException) -> None:
+        """Degrade to memory-only: warn once, keep serving.
+
+        An unusable store must never take the provider down — jobs
+        keep running, they just stop being durable.
+        """
+        self.errors += 1
+        if not self.disabled:
+            self.disabled = True
+            warnings.warn(
+                f"job store {self.path!r} is unusable ({exc}); "
+                "continuing in-memory — jobs will not survive a restart",
+                RuntimeWarning, stacklevel=3)
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - already broken
+                pass
+
+    def _load(self) -> None:
+        """Hydrate memory from the mirror (called once, at open)."""
+        assert self._conn is not None
+        for row in self._conn.execute(
+                "SELECT job_id, job_number, backend, status, attempts, "
+                "error, spec, result, submitted, updated FROM jobs "
+                "ORDER BY job_number"):
+            (job_id, number, backend, status, attempts, error, spec,
+             result, submitted, updated) = row
+            self._records[job_id] = StoredJob(
+                job_id=job_id,
+                job_number=int(number),
+                backend_name=str(backend),
+                status=str(status),
+                attempts=int(attempts),
+                error=None if error is None else str(error),
+                spec=None if spec is None else bytes(spec),
+                result=None if result is None else json.loads(result),
+                submitted=float(submitted),
+                updated=float(updated),
+            )
+            self.loaded += 1
+        for row in self._conn.execute(
+                "SELECT job_id, status, attempt, error, time "
+                "FROM transitions ORDER BY seq"):
+            job_id, status, attempt, error, when = row
+            self._transitions.append(StoredTransition(
+                job_id=str(job_id), status=str(status),
+                attempt=int(attempt),
+                error=None if error is None else str(error),
+                time=float(when)))
+
+    def _mirror(self, statement: str, params: tuple) -> None:
+        """Write-through one statement; degrade the mirror on error."""
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute(statement, params)
+        except sqlite3.Error as exc:
+            self._disable(exc)
+            return
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def record_submission(self, job_id: str, job_number: int,
+                          backend_name: str,
+                          spec: Optional[bytes] = None) -> None:
+        """Persist a new submission (status ``queued``, attempt 0)."""
+        now = time.time()
+        record = StoredJob(
+            job_id=job_id, job_number=int(job_number),
+            backend_name=backend_name, status="queued",
+            attempts=0, spec=spec, submitted=now, updated=now)
+        with self._lock:
+            self._records[job_id] = record
+            self._transitions.append(StoredTransition(
+                job_id=job_id, status="queued", attempt=0,
+                error=None, time=now))
+            self._mirror(
+                "INSERT OR REPLACE INTO jobs (job_id, job_number, "
+                "backend, status, attempts, error, spec, result, "
+                "submitted, updated) VALUES (?, ?, ?, ?, 0, NULL, ?, "
+                "NULL, ?, ?)",
+                (job_id, int(job_number), backend_name, "queued",
+                 spec, now, now))
+            self._mirror(
+                "INSERT INTO transitions (job_id, status, attempt, "
+                "error, time) VALUES (?, ?, 0, NULL, ?)",
+                (job_id, "queued", now))
+
+    def record_transition(self, job_id: str,
+                          status: Union[str, "JobStatus"],
+                          attempt: Optional[int] = None,
+                          error: Optional[str] = None) -> None:
+        """Persist a status change (and optionally a new attempt count)."""
+        value = _status_value(status)
+        now = time.time()
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                return
+            attempts = record.attempts if attempt is None else int(attempt)
+            self._records[job_id] = replace(
+                record, status=value, attempts=attempts,
+                error=error if error is not None else (
+                    record.error if value == "error" else None),
+                updated=now)
+            self._transitions.append(StoredTransition(
+                job_id=job_id, status=value, attempt=attempts,
+                error=error, time=now))
+            self._mirror(
+                "UPDATE jobs SET status = ?, attempts = ?, error = ?, "
+                "updated = ? WHERE job_id = ?",
+                (value, attempts, self._records[job_id].error, now,
+                 job_id))
+            self._mirror(
+                "INSERT INTO transitions (job_id, status, attempt, "
+                "error, time) VALUES (?, ?, ?, ?, ?)",
+                (job_id, value, attempts, error, now))
+
+    def record_result(self, job_id: str,
+                      payload: Dict[str, object]) -> None:
+        """Persist a completed job's ``Result.to_dict()`` payload."""
+        now = time.time()
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                return
+            self._records[job_id] = replace(record, result=payload,
+                                            updated=now)
+            self._mirror(
+                "UPDATE jobs SET result = ?, updated = ? "
+                "WHERE job_id = ?",
+                (json.dumps(payload), now, job_id))
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[StoredJob]:
+        """One job's record, or ``None``."""
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self) -> List[StoredJob]:
+        """Every record, in submission (``job_number``) order."""
+        with self._lock:
+            return sorted(self._records.values(),
+                          key=lambda r: r.job_number)
+
+    def pending(self) -> List[StoredJob]:
+        """Jobs a restart should re-run (QUEUED/RUNNING/RETRYING at
+        crash time), in submission order."""
+        return [r for r in self.jobs() if r.is_pending]
+
+    def transitions(self, job_id: str) -> List[StoredTransition]:
+        """One job's status history, oldest first."""
+        with self._lock:
+            return [t for t in self._transitions if t.job_id == job_id]
+
+    def max_job_number(self) -> int:
+        """Highest persisted ordinal (0 for an empty store); the
+        provider continues its ``job-NNNNNN`` sequence from here."""
+        with self._lock:
+            if not self._records:
+                return 0
+            return max(r.job_number for r in self._records.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot."""
+        return {
+            "jobs": len(self),
+            "loaded": self.loaded,
+            "writes": self.writes,
+            "errors": self.errors,
+            "disabled": int(self.disabled),
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the mirror connection (the store file stays valid)."""
+        with self._lock:
+            conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort
+                pass
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "memory-only" if self.disabled else "durable"
+        return f"<JobStore {self.path!r} ({len(self)} jobs, {state})>"

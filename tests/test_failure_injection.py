@@ -1,16 +1,37 @@
 """Failure-injection tests: the library must fail loudly and precisely
-when inputs are broken, not silently mis-simulate."""
+when inputs are broken, not silently mis-simulate — and, for
+*infrastructure* faults (device outages, dying worker pools, killed
+processes), degrade deterministically instead of failing at all."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
 
 from repro.circuits import CircuitError, QuantumCircuit, gate, ghz_circuit
-from repro.core import qucp_allocate
-from repro.hardware import CouplingMap, generate_calibration, linear_device
+from repro.core import (
+    CloudScheduler,
+    ExecutionService,
+    FaultPlan,
+    SubmittedProgram,
+    inject_broken_process_pool,
+    qucp_allocate,
+)
+from repro.hardware import (
+    CouplingMap,
+    DeviceFleet,
+    generate_calibration,
+    linear_device,
+)
+from repro.service import JobError, QuantumProvider
 from repro.sim import KrausChannel, NoiseModel, run_circuit
 from repro.sim.executor import Program, run_parallel
 from repro.transpiler import Layout, transpile
-from repro.workloads import workload
+from repro.workloads import synthesize_traffic, workload
 
 
 class TestBrokenCircuits:
@@ -108,3 +129,307 @@ class TestBrokenParallelJobs:
         with pytest.raises(Exception):
             transpile(qc, line5.coupling, line5.calibration,
                       initial_layout=bad_layout)
+
+
+# ----------------------------------------------------------------------
+# Infrastructure chaos: deterministic fault injection
+# ----------------------------------------------------------------------
+
+def _traffic(n, seed):
+    """A small deterministic poisson arrival stream."""
+    return synthesize_traffic(n, pattern="poisson",
+                              mean_interarrival_ns=2e5, mix="uniform",
+                              seed=seed)
+
+
+class TestDeviceOutageChaos:
+    """A committed FaultPlan replays the identical failure sequence."""
+
+    def _fleet(self, toronto, melbourne):
+        return DeviceFleet([toronto, melbourne])
+
+    def test_midrun_outage_requeues_and_completes(self, toronto,
+                                                  melbourne):
+        plan = FaultPlan.device_outage("ibm_toronto", start_ns=5e5,
+                                       duration_ns=2e6)
+        sched = CloudScheduler(self._fleet(toronto, melbourne),
+                               fidelity_threshold=1.0, fault_plan=plan)
+        out = sched.schedule(_traffic(6, seed=5))
+        assert out.outages == 1
+        # The outage interrupted an in-flight batch: its programs
+        # re-queued and still completed on the surviving device.
+        assert out.requeued
+        assert not out.rejected
+        assert set(out.completion_ns) == set(range(6))
+        for member in out.requeued:
+            assert member in out.completion_ns
+
+    def test_committed_plan_is_replay_identical(self, toronto,
+                                                melbourne):
+        plan = FaultPlan.device_outage("ibm_toronto", start_ns=5e5,
+                                       duration_ns=2e6)
+        runs = []
+        for _ in range(2):
+            sched = CloudScheduler(self._fleet(toronto, melbourne),
+                                   fidelity_threshold=1.0,
+                                   fault_plan=plan)
+            runs.append(sched.schedule(_traffic(6, seed=5)).to_dict())
+        assert runs[0] == runs[1]
+
+    def test_recovered_device_rejoins(self, toronto):
+        plan = FaultPlan.device_outage(0, start_ns=5e5, duration_ns=1e6)
+        sched = CloudScheduler(DeviceFleet(toronto),
+                               fidelity_threshold=1.0, fault_plan=plan)
+        out = sched.schedule(_traffic(4, seed=3))
+        # Sole device died and came back: everything still completes.
+        assert out.outages == 1
+        assert not out.rejected
+        assert set(out.completion_ns) == set(range(4))
+
+    def test_permanent_outage_rejects_with_reasons(self, toronto):
+        plan = FaultPlan.device_outage("ibm_toronto", start_ns=1.0)
+        sched = CloudScheduler(DeviceFleet(toronto),
+                               fidelity_threshold=1.0, fault_plan=plan)
+        out = sched.schedule(_traffic(4, seed=3))
+        # The only device never comes back: nothing can complete, and
+        # every program is rejected with a structured reason instead of
+        # stranding the queue.
+        assert sorted(out.rejected) == [0, 1, 2, 3]
+        assert not out.completion_ns
+        assert set(out.rejection_reasons) == {0, 1, 2, 3}
+        for reason in out.rejection_reasons.values():
+            assert "offline" in reason
+
+    def test_overlapping_outages_require_both_recoveries(self, toronto):
+        plan = (FaultPlan.device_outage(0, start_ns=4e5, duration_ns=4e6)
+                .with_outage(0, start_ns=5e5, duration_ns=1e6))
+        sched = CloudScheduler(DeviceFleet(toronto),
+                               fidelity_threshold=1.0, fault_plan=plan)
+        out = sched.schedule(_traffic(4, seed=3))
+        assert out.outages == 2
+        assert not out.rejected
+        assert set(out.completion_ns) == set(range(4))
+
+    def test_unknown_device_fails_at_construction(self, toronto):
+        plan = FaultPlan.device_outage("ibm_nowhere", start_ns=0.0)
+        with pytest.raises(ValueError, match="unknown device"):
+            CloudScheduler(DeviceFleet(toronto), fault_plan=plan)
+
+    def test_ambiguous_twin_name_fails_at_construction(self):
+        twin_a = linear_device(5, seed=1)
+        twin_b = linear_device(5, seed=2)
+        assert twin_a.name == twin_b.name
+        plan = FaultPlan.device_outage(twin_a.name, start_ns=0.0)
+        with pytest.raises(ValueError, match="ambiguous"):
+            CloudScheduler(DeviceFleet([twin_a, twin_b]),
+                           fault_plan=plan)
+        # By index the same twin is addressable.
+        CloudScheduler(DeviceFleet([twin_a, twin_b]),
+                       fault_plan=FaultPlan.device_outage(1, 0.0))
+
+    def test_fault_plan_through_the_facade(self, toronto, melbourne):
+        plan = FaultPlan.device_outage("ibm_toronto", start_ns=5e5,
+                                       duration_ns=2e6)
+        prov = QuantumProvider(devices=[toronto, melbourne])
+        try:
+            backend = prov.fleet_backend(
+                ["ibm_toronto", "ibm_melbourne"],
+                fidelity_threshold=1.0, fault_plan=plan)
+            job = backend.run(_traffic(6, seed=5), shots=32, seed=2)
+            result = job.result()
+        finally:
+            prov.shutdown()
+        assert result.schedule.outages == 1
+        # Every non-rejected program still produced counts.
+        assert not result.metadata.rejected
+        assert len(result.programs) == 6
+        assert all(sum(p.counts.values()) == 32
+                   for p in result.programs)
+
+
+class TestStructuredRejections:
+    def test_partial_rejection_reasons_in_metadata(self, line5):
+        prov = QuantumProvider(devices=[line5])
+        try:
+            job = prov.backend(line5).run(
+                [SubmittedProgram(ghz_circuit(2).measure_all()),
+                 SubmittedProgram(ghz_circuit(8).measure_all())],
+                shots=16, seed=1)
+            result = job.result()
+        finally:
+            prov.shutdown()
+        assert result.metadata.rejected == (1,)
+        assert result.metadata.rejection_reasons == (
+            (1, "circuit fits no device coupling map in the fleet"),)
+        # The JSON payload carries them too.
+        payload = result.to_dict()
+        assert payload["metadata"]["rejection_reasons"] == {
+            "1": "circuit fits no device coupling map in the fleet"}
+
+    def test_total_rejection_is_a_typed_job_error(self, line5):
+        prov = QuantumProvider(devices=[line5])
+        try:
+            job = prov.backend(line5).run(
+                [ghz_circuit(8).measure_all()], shots=16, seed=1)
+            with pytest.raises(JobError) as info:
+                job.result()
+        finally:
+            prov.shutdown()
+        assert info.value.job_id == job.job_id
+        assert set(info.value.reasons) == {0}
+        assert "program 0" in str(info.value)
+
+
+class TestBrokenPoolChaos:
+    """An injected BrokenProcessPool degrades to bit-identical inline
+    execution (never a wrong answer, never a crash)."""
+
+    CHAINS = [(0, 1, 2), (3, 5, 8), (12, 13, 14, 16), (22, 25, 26)]
+
+    def _programs(self):
+        programs = []
+        for chain in self.CHAINS:
+            qc = QuantumCircuit(len(chain), len(chain))
+            qc.h(0)
+            for i in range(len(chain) - 1):
+                qc.cx(i, i + 1)
+            qc.measure_all()
+            programs.append(Program(qc, chain))
+        return programs
+
+    def _assert_identical(self, got, want):
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g.counts == w.counts
+            assert g.probabilities == w.probabilities
+
+    def test_pool_broken_at_submit_falls_back_inline(self, toronto):
+        programs = self._programs()
+        want = ExecutionService(mode="serial").run_parallel(
+            programs, toronto, shots=256, seed=9)
+        svc = ExecutionService(max_workers=2, mode="process")
+        executor = inject_broken_process_pool(svc, break_after=0,
+                                              mode="submit")
+        got = svc.run_parallel(programs, toronto, shots=256, seed=9)
+        self._assert_identical(got, want)
+        assert executor.broke
+        assert svc.stats["fallbacks"] == len(programs)
+
+    def test_worker_death_mid_chunk_falls_back_inline(self, toronto):
+        programs = self._programs()
+        want = ExecutionService(mode="serial").run_parallel(
+            programs, toronto, shots=256, seed=9)
+        svc = ExecutionService(max_workers=2, mode="process")
+        executor = inject_broken_process_pool(svc, break_after=1,
+                                              mode="result")
+        got = svc.run_parallel(programs, toronto, shots=256, seed=9)
+        self._assert_identical(got, want)
+        assert executor.broke
+        # The first chunk ran on the injected pool, the dead chunk's
+        # programs fell back inline.
+        assert 0 < svc.stats["fallbacks"] < len(programs)
+
+    def test_next_batch_gets_a_fresh_pool(self, toronto):
+        programs = self._programs()
+        svc = ExecutionService(max_workers=2, mode="process")
+        inject_broken_process_pool(svc, break_after=0, mode="submit")
+        svc.run_parallel(programs, toronto, shots=64, seed=1)
+        # The broken injected pool was dropped compare-and-swap style.
+        assert svc._process_pool is None
+        want = ExecutionService(mode="serial").run_parallel(
+            programs, toronto, shots=64, seed=2)
+        got = svc.run_parallel(programs, toronto, shots=64, seed=2)
+        self._assert_identical(got, want)
+        svc.shutdown()
+
+    def test_broken_compile_pool_job_still_completes(self, line5):
+        prov = QuantumProvider(devices=[line5], compile_mode="process")
+        try:
+            executor = inject_broken_process_pool(
+                prov.compile_service, break_after=0, mode="submit")
+            job = prov.backend(line5).run(
+                [ghz_circuit(2).measure_all()] * 3, shots=16, seed=1)
+            result = job.result()
+            assert len(result.programs) == 3
+            assert executor.broke
+        finally:
+            prov.shutdown()
+
+
+class TestKillAndResume:
+    """Kill a provider mid-flight; a fresh one on the same store must
+    re-serve finished results bit-identically and drive interrupted
+    jobs to DONE."""
+
+    CHILD = textwrap.dedent("""
+        import json, os, sys, threading
+
+        from repro.circuits import ghz_circuit
+        from repro.hardware import linear_device
+        from repro.service import QuantumProvider
+
+        store, out_path = sys.argv[1], sys.argv[2]
+        dev = linear_device(5, seed=7)
+        prov = QuantumProvider(devices=[dev], store_path=store)
+        sim = prov.simulator(dev)
+
+        job1 = sim.run([ghz_circuit(2).measure_all()] * 2, shots=64,
+                       seed=3)
+        payload = job1.result().to_dict()
+
+        # Occupy the single job worker so the next submission stays
+        # QUEUED, then die without any shutdown.
+        blocker = prov._submit_job(
+            sim, lambda job_id: threading.Event().wait(60))
+        job2 = sim.run([ghz_circuit(3).measure_all()], shots=32, seed=4)
+
+        with open(out_path, "w") as fh:
+            json.dump({"job1": job1.job_id, "payload": payload,
+                       "blocker": blocker.job_id,
+                       "job2": job2.job_id}, fh)
+        os._exit(1)
+    """)
+
+    def test_kill_and_resume(self, tmp_path):
+        from repro.service import JobStatus, JobStore
+
+        store = str(tmp_path / "jobs.sqlite")
+        out_path = str(tmp_path / "child.json")
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", self.CHILD, store, out_path],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 1, proc.stderr
+        with open(out_path) as fh:
+            child = json.load(fh)
+
+        # The store witnessed the crash: job2 still queued.
+        with JobStore(store) as audit:
+            assert audit.get(child["job1"]).status == "done"
+            assert audit.get(child["job2"]).status == "queued"
+
+        prov = QuantumProvider(devices=[linear_device(5, seed=7)],
+                               store_path=store)
+        try:
+            # Finished work re-serves bit-identically.
+            job1 = prov.job(child["job1"])
+            assert job1.status() is JobStatus.DONE
+            assert job1.result().to_dict() == child["payload"]
+
+            # The interrupted replayable job is driven to DONE.
+            job2 = prov.job(child["job2"])
+            result = job2.result(timeout=240)
+            assert job2.status() is JobStatus.DONE
+            assert result.metadata.job_id == child["job2"]
+            assert sum(result.counts(0).values()) == 32
+            assert prov.store.get(child["job2"]).status == "done"
+
+            # The non-replayable blocker surfaces as a structured error.
+            blocker = prov.job(child["blocker"])
+            assert blocker.status() is JobStatus.ERROR
+            with pytest.raises(RuntimeError, match="replayable"):
+                blocker.result()
+        finally:
+            prov.shutdown()
