@@ -46,6 +46,15 @@ from .faults import (
     locked_database,
     write_foreign_store,
 )
+from .health import (
+    BreakerState,
+    CircuitBreaker,
+    DeviceFailurePlan,
+    FailureBurst,
+    FleetHealth,
+    HealthPolicy,
+    ResolvedBurst,
+)
 from .metrics import (
     estimated_fidelity_score,
     hardware_throughput,
@@ -91,11 +100,14 @@ __all__ = [
     "AllocationResult",
     "Allocator",
     "BatchJob",
+    "BreakerState",
     "BreakingExecutor",
+    "CircuitBreaker",
     "CloudScheduler",
     "CnaAllocator",
     "CnaCompilation",
     "CompileService",
+    "DeviceFailurePlan",
     "DeviceOutage",
     "DispatchedBatch",
     "Event",
@@ -104,7 +116,10 @@ __all__ = [
     "ExecutionCache",
     "ExecutionOutcome",
     "ExecutionService",
+    "FailureBurst",
     "FaultPlan",
+    "FleetHealth",
+    "HealthPolicy",
     "JobSpec",
     "MultiqcAllocator",
     "OnlineScheduler",
@@ -119,6 +134,7 @@ __all__ = [
     "RaceCandidate",
     "RaceError",
     "RaceOutcome",
+    "ResolvedBurst",
     "ResolvedOutage",
     "ScheduleOutcome",
     "StrategyRace",

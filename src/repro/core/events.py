@@ -3,12 +3,13 @@
 A minimal, deterministic event kernel: timestamped events in a binary
 heap, popped in ``(time, kind, insertion order)`` order.  The kind
 ordering is load-bearing — at one instant, ARRIVAL < COMPLETION <
-OUTAGE < RECOVERY < DISPATCH, so a program arriving exactly when a
-device frees up is queued before the dispatch decision runs, a freed
-device is marked idle before dispatch looks for capacity, a batch
-completing exactly when its device fails still counts as completed,
-and an outage or recovery is applied before any same-instant dispatch
-decision can place work on (or skip) the affected device.  That
+OUTAGE < RECOVERY < BREAKER < DISPATCH, so a program arriving exactly
+when a device frees up is queued before the dispatch decision runs, a
+freed device is marked idle before dispatch looks for capacity, a
+batch completing exactly when its device fails still counts as
+completed, and an outage, recovery, or circuit-breaker transition is
+applied before any same-instant dispatch decision can place work on
+(or skip) the affected device.  That
 tie-break is what makes the event-driven scheduler reproduce the
 legacy synchronous while-loop exactly on single-device traces — and
 what makes fault-plan replays bit-identical.
@@ -32,7 +33,8 @@ class EventKind(IntEnum):
     COMPLETION = 1   #: a device finishes its batch and frees up
     OUTAGE = 2       #: a device goes offline (fault injection)
     RECOVERY = 3     #: an offline device rejoins the fleet
-    DISPATCH = 4     #: an opportunity to pack + launch a batch
+    BREAKER = 4      #: a circuit-breaker cooldown elapses (half-open)
+    DISPATCH = 5     #: an opportunity to pack + launch a batch
 
 
 @dataclass(frozen=True, order=True)

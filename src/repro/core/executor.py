@@ -182,6 +182,21 @@ class ExecutionCache:
         self.transpile_misses = 0
         self.ideal_hits = 0
         self.ideal_misses = 0
+        #: Optional publication gate: a zero-argument callable consulted
+        #: before every write.  Returning ``False`` drops the write (the
+        #: caller still gets its computed value) and counts it in
+        #: :attr:`gated_writes`.  The service layer wires the retry
+        #: fence in here so attempts abandoned by a timeout stop
+        #: publishing into shared state.
+        self.write_gate: Optional[Callable[[], bool]] = None
+        self.gated_writes = 0
+
+    def _may_write(self) -> bool:
+        gate = self.write_gate
+        if gate is None or gate():
+            return True
+        self.gated_writes += 1
+        return False
 
     # -- compat aliases (tests/benchmarks poke the table sizes) --------
     @property
@@ -265,7 +280,7 @@ class ExecutionCache:
         publish results back into the shared cache; publication fans out
         to every applicable tier (exact, equivalence-class, persistent).
         """
-        if key is not None:
+        if key is not None and self._may_write():
             self.tiers.store(key, device, transpiler_fn, result)
 
     def lookup_transpile(self, circuit: QuantumCircuit, device: Device,
@@ -332,7 +347,8 @@ class ExecutionCache:
             return dict(cached)
         self.ideal_misses += 1
         result = ideal_probabilities(circuit)
-        self._ideal_table.put(form.key, result)
+        if self._may_write():
+            self._ideal_table.put(form.key, result)
         return dict(result)
 
     @property
@@ -351,6 +367,7 @@ class ExecutionCache:
             transpile_misses=self.transpile_misses,
             ideal_hits=self.ideal_hits,
             ideal_misses=self.ideal_misses,
+            gated_writes=self.gated_writes,
         )
         return merged
 

@@ -1,0 +1,349 @@
+"""Per-device circuit breakers: unscripted graceful degradation.
+
+:mod:`repro.core.faults` injects *pre-scripted* outages — the scheduler
+is told, in advance, exactly when a device dies and recovers.  Real
+backends do not send a fault plan first; they just start failing jobs.
+This module closes that gap with the classic circuit-breaker state
+machine, fed by the completion/failure signals the event-driven
+:class:`~repro.core.CloudScheduler` already produces:
+
+- **CLOSED** — the device is healthy and takes work.  Failures are
+  counted (consecutive run + rolling window); when either crosses the
+  :class:`HealthPolicy` thresholds the breaker **trips**.
+- **OPEN** — the device is quarantined: no dispatches for
+  ``cooldown_ns``.  Tripping is treated exactly like a
+  :class:`~repro.core.faults.FaultPlan` outage — the in-flight batch
+  (the one whose failure tripped the breaker) fails and its programs
+  re-queue, in priority order, to the surviving devices.
+- **HALF_OPEN** — the cooldown elapsed: the device may take **probe**
+  batches, one at a time.  ``probe_successes`` consecutive successful
+  probes close the breaker (full readmission); a failed probe re-opens
+  it for another cooldown.
+
+Everything is deterministic: state only changes on scheduler events
+(virtual-time completions and failures), so a committed failure plan
+replays the identical trip/probe/readmit sequence on every run.
+
+The failure *signals* themselves come either from a scripted
+:class:`DeviceFailurePlan` (chaos testing: every batch dispatched on a
+device inside a burst window fails at completion time) or — in a real
+deployment — from whatever marks batches failed.  The plan is pure
+data, mirroring :class:`~repro.core.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "BreakerState",
+    "HealthPolicy",
+    "CircuitBreaker",
+    "FleetHealth",
+    "FailureBurst",
+    "DeviceFailurePlan",
+    "ResolvedBurst",
+]
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker lifecycle."""
+
+    CLOSED = "closed"        #: healthy — dispatching normally
+    OPEN = "open"            #: quarantined — no dispatches until cooldown
+    HALF_OPEN = "half_open"  #: probing — limited dispatches readmit it
+
+    @property
+    def admits(self) -> bool:
+        """Whether a device in this state may take (any) work."""
+        return self is not BreakerState.OPEN
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When a device's breaker trips, and how it earns readmission.
+
+    The default (3 consecutive failures *or* >50% errors over the last
+    8 outcomes trip; 5 ms virtual cooldown; 2 clean probes readmit) is
+    deliberately quick to trip and slow to trust — under overload, work
+    bouncing off a flapping device costs more than routing around it.
+    """
+
+    #: Consecutive failures that trip a CLOSED breaker.
+    failure_threshold: int = 3
+    #: Rolling outcome window consulted for the error-rate trip
+    #: condition (0 disables the window condition).
+    window: int = 8
+    #: Error rate over a *full* window that trips the breaker, even
+    #: without ``failure_threshold`` consecutive failures (``None``
+    #: disables; flapping devices alternate success/failure and never
+    #: fail consecutively).
+    max_error_rate: Optional[float] = 0.5
+    #: Virtual nanoseconds an OPEN breaker quarantines the device
+    #: before probing may begin.
+    cooldown_ns: float = 5e6
+    #: Consecutive successful HALF_OPEN probes that close the breaker.
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+        if (self.max_error_rate is not None
+                and not 0 < self.max_error_rate <= 1):
+            raise ValueError("max_error_rate must be in (0, 1]")
+        if self.cooldown_ns <= 0:
+            raise ValueError("cooldown_ns must be positive")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """One device's breaker: a deterministic event-driven state machine.
+
+    The scheduler drives it with :meth:`record_success`,
+    :meth:`record_failure`, and :meth:`cooldown_elapsed`; it answers
+    :attr:`admits` at dispatch time.  All times are the scheduler's
+    virtual nanoseconds, so identical event streams produce identical
+    state trajectories.
+    """
+
+    def __init__(self, policy: HealthPolicy) -> None:
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.probe_streak = 0
+        #: Rolling outcome window, newest last (True = success).
+        self.window: List[bool] = []
+        self.opened_at_ns: Optional[float] = None
+        # lifetime counters (JSON-safe ints for outcome summaries)
+        self.successes = 0
+        self.failures = 0
+        self.trips = 0
+        self.probes = 0
+        self.readmissions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def admits(self) -> bool:
+        """Whether the device may be dispatched to right now."""
+        return self.state.admits
+
+    @property
+    def probing(self) -> bool:
+        """Whether dispatches to this device are half-open probes."""
+        return self.state is BreakerState.HALF_OPEN
+
+    def _push_window(self, ok: bool) -> None:
+        if self.policy.window <= 0:
+            return
+        self.window.append(ok)
+        if len(self.window) > self.policy.window:
+            del self.window[0]
+
+    def _window_tripped(self) -> bool:
+        rate = self.policy.max_error_rate
+        if rate is None or self.policy.window <= 0:
+            return False
+        if len(self.window) < self.policy.window:
+            return False  # not enough evidence yet
+        errors = self.window.count(False)
+        return errors / len(self.window) > rate
+
+    def _trip(self, now_ns: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at_ns = now_ns
+        self.trips += 1
+        self.probe_streak = 0
+        self.consecutive_failures = 0
+        self.window.clear()
+
+    # ------------------------------------------------------------------
+    def record_success(self, now_ns: float) -> bool:
+        """A batch on this device completed cleanly.
+
+        Returns ``True`` when this success *readmitted* the device
+        (a HALF_OPEN breaker closing).
+        """
+        self.successes += 1
+        self._push_window(True)
+        if self.state is BreakerState.HALF_OPEN:
+            self.probes += 1
+            self.probe_streak += 1
+            if self.probe_streak >= self.policy.probe_successes:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+                self.probe_streak = 0
+                self.opened_at_ns = None
+                self.readmissions += 1
+                return True
+            return False
+        self.consecutive_failures = 0
+        return False
+
+    def record_failure(self, now_ns: float) -> bool:
+        """A batch on this device failed.
+
+        Returns ``True`` when this failure *tripped* the breaker (a
+        CLOSED breaker opening, or a failed HALF_OPEN probe re-opening
+        it) — the scheduler then quarantines the device and schedules
+        the cooldown-elapsed event.
+        """
+        self.failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # One bad probe is enough: back to quarantine.
+            self.probes += 1
+            self._trip(now_ns)
+            return True
+        self._push_window(False)
+        self.consecutive_failures += 1
+        if (self.consecutive_failures >= self.policy.failure_threshold
+                or self._window_tripped()):
+            self._trip(now_ns)
+            return True
+        return False
+
+    def cooldown_elapsed(self, now_ns: float) -> None:
+        """The OPEN quarantine ended: begin probing."""
+        if self.state is BreakerState.OPEN:
+            self.state = BreakerState.HALF_OPEN
+            self.probe_streak = 0
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe lifetime snapshot."""
+        return {
+            "state": self.state.value,
+            "successes": int(self.successes),
+            "failures": int(self.failures),
+            "trips": int(self.trips),
+            "probes": int(self.probes),
+            "readmissions": int(self.readmissions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.state.value} "
+                f"trips={self.trips} readmissions={self.readmissions}>")
+
+
+class FleetHealth:
+    """Per-device breakers for one scheduler run.
+
+    Thin aggregate: the scheduler indexes breakers by fleet position
+    and reads the summary into its
+    :class:`~repro.core.ScheduleOutcome`.
+    """
+
+    def __init__(self, num_devices: int, policy: HealthPolicy) -> None:
+        if num_devices < 1:
+            raise ValueError("a fleet has at least one device")
+        self.policy = policy
+        self.breakers = [CircuitBreaker(policy) for _ in range(num_devices)]
+
+    def __getitem__(self, device_index: int) -> CircuitBreaker:
+        return self.breakers[device_index]
+
+    def __len__(self) -> int:
+        return len(self.breakers)
+
+    @property
+    def trips(self) -> int:
+        return sum(b.trips for b in self.breakers)
+
+    @property
+    def readmissions(self) -> int:
+        return sum(b.readmissions for b in self.breakers)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe per-device snapshot keyed by fleet index."""
+        return {str(i): b.summary() for i, b in enumerate(self.breakers)}
+
+
+# ----------------------------------------------------------------------
+# scripted failure signals (chaos input for the breaker to react to)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailureBurst:
+    """A window during which every batch dispatched on a device fails.
+
+    Unlike a :class:`~repro.core.faults.DeviceOutage`, the device stays
+    *schedulable* — it accepts batches and fails them at completion
+    time, which is exactly the misbehaviour a circuit breaker exists to
+    contain.  *device* is a fleet index or (unique) device name; a
+    batch fails iff its dispatch instant falls in
+    ``[start_ns, until_ns)`` (``until_ns=None`` = fails forever).
+    """
+
+    device: Union[int, str]
+    start_ns: float
+    until_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_ns < 0:
+            raise ValueError("burst start must be non-negative")
+        if self.until_ns is not None and self.until_ns <= self.start_ns:
+            raise ValueError("burst end must be after its start "
+                             "(None = permanent)")
+
+
+@dataclass(frozen=True)
+class ResolvedBurst:
+    """A :class:`FailureBurst` pinned to a concrete fleet index."""
+
+    device_index: int
+    start_ns: float
+    until_ns: Optional[float]
+
+    def covers(self, device_index: int, dispatch_ns: float) -> bool:
+        if device_index != self.device_index:
+            return False
+        if dispatch_ns < self.start_ns:
+            return False
+        return self.until_ns is None or dispatch_ns < self.until_ns
+
+
+@dataclass(frozen=True)
+class DeviceFailurePlan:
+    """A deterministic, committable schedule of device *misbehaviour*.
+
+    Pure data, like :class:`~repro.core.faults.FaultPlan`: the same
+    plan against the same submissions replays the identical failure
+    sequence — and therefore the identical breaker trajectory — on
+    every run.  Pass one to :class:`~repro.core.CloudScheduler`
+    (``failure_plan=``) or a
+    :class:`~repro.service.BackendConfiguration`.
+    """
+
+    bursts: Tuple[FailureBurst, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bursts", tuple(self.bursts))
+
+    @classmethod
+    def burst(cls, device: Union[int, str], start_ns: float,
+              until_ns: Optional[float] = None) -> "DeviceFailurePlan":
+        """A plan with a single burst (the common chaos-test shape)."""
+        return cls(bursts=(FailureBurst(device, start_ns, until_ns),))
+
+    def with_burst(self, device: Union[int, str], start_ns: float,
+                   until_ns: Optional[float] = None) -> "DeviceFailurePlan":
+        """A copy of this plan with one more burst appended."""
+        return DeviceFailurePlan(bursts=self.bursts + (
+            FailureBurst(device, start_ns, until_ns),))
+
+    def resolve(self, fleet) -> List[ResolvedBurst]:
+        """Pin every burst to a fleet index (via
+        :meth:`~repro.hardware.fleet.DeviceFleet.resolve_device`);
+        resolution errors surface before any event is scheduled."""
+        return [
+            ResolvedBurst(fleet.resolve_device(b.device), b.start_ns,
+                          b.until_ns)
+            for b in self.bursts
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self.bursts)

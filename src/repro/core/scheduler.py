@@ -48,6 +48,12 @@ from .allocators import (
 )
 from .events import EventKind, EventQueue
 from .faults import FaultPlan, ResolvedOutage
+from .health import (
+    DeviceFailurePlan,
+    FleetHealth,
+    HealthPolicy,
+    ResolvedBurst,
+)
 from .qucp import DEFAULT_SIGMA, QucpAllocator
 from .racing import StrategyRace
 
@@ -180,9 +186,21 @@ class ScheduleOutcome:
     #: Device outages the fault plan injected during this run.
     outages: int = 0
     #: Submission indices re-queued after their in-flight batch failed
-    #: under a device outage, in failure order (an index can appear
-    #: more than once under cascading outages).
+    #: under a device outage or an injected device failure, in failure
+    #: order (an index can appear more than once under cascading
+    #: failures).
     requeued: List[int] = field(default_factory=list)
+    #: Hardware jobs that ran but *failed* (injected device failures);
+    #: their programs re-queued and completed elsewhere, and the failed
+    #: jobs are not in :attr:`jobs`.
+    batch_failures: int = 0
+    #: Circuit-breaker trips (device quarantined) and readmissions
+    #: (half-open probes closed the breaker) across the run.
+    breaker_trips: int = 0
+    breaker_readmissions: int = 0
+    #: Per-device breaker summaries keyed by fleet index (empty when no
+    #: health policy was active).
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def batches(self) -> List[AllocationResult]:
@@ -235,6 +253,11 @@ class ScheduleOutcome:
                 for i, r in sorted(self.rejection_reasons.items())},
             "outages": int(self.outages),
             "requeued": [int(i) for i in self.requeued],
+            "batch_failures": int(self.batch_failures),
+            "breaker_trips": int(self.breaker_trips),
+            "breaker_readmissions": int(self.breaker_readmissions),
+            "breakers": {str(k): dict(v)
+                         for k, v in sorted(self.breakers.items())},
             "jobs": [job.to_dict() for job in self.jobs],
         }
 
@@ -313,6 +336,34 @@ class CloudScheduler:
         :attr:`ScheduleOutcome.rejection_reasons`) instead of stranding
         the queue.  The plan is pure data, so a committed plan replays
         the identical failure sequence on every run.
+    failure_plan:
+        Optional :class:`~repro.core.health.DeviceFailurePlan` of
+        scripted device *misbehaviour*: a batch dispatched on a device
+        inside one of the plan's burst windows runs to completion and
+        then **fails** — its programs re-queue, in priority order, and
+        the per-device circuit breaker records the failure.  Unlike a
+        ``fault_plan`` outage the scheduler is never told the device is
+        bad; the breaker has to *infer* it from the failures (trip →
+        quarantine → half-open probes → readmission).  Supplying a plan
+        enables breakers with the default :class:`HealthPolicy` unless
+        ``health_policy`` overrides it.
+    health_policy:
+        Optional :class:`~repro.core.health.HealthPolicy` controlling
+        when per-device circuit breakers trip and readmit.  A tripped
+        (OPEN) device is skipped by dispatch exactly like an offline
+        one; after ``cooldown_ns`` it turns HALF_OPEN and the next
+        dispatches act as probes — ``probe_successes`` clean probes
+        close the breaker, one failed probe re-opens it.  A device
+        failing under a *permanent* burst stays quarantined and counts
+        as gone for hold-vs-reject decisions.
+    priority_aging_ns:
+        When set, a pending program's effective priority grows by 1 for
+        every this-many virtual nanoseconds it has waited, so sustained
+        high-priority traffic cannot starve ``best_effort`` work: every
+        queued program eventually out-prioritizes fresh arrivals.  The
+        aged priority is a pure function of (arrival, now), so replays
+        stay bit-identical.  ``None`` (default) preserves strict
+        priority order.
     """
 
     def __init__(
@@ -328,6 +379,9 @@ class CloudScheduler:
         race_allocators: Optional[Sequence[Union[str, Allocator]]] = None,
         race_executor=None,
         fault_plan: Optional[FaultPlan] = None,
+        failure_plan: Optional[DeviceFailurePlan] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        priority_aging_ns: Optional[float] = None,
     ) -> None:
         if fidelity_threshold < 0:
             raise ValueError("fidelity threshold must be non-negative")
@@ -335,6 +389,8 @@ class CloudScheduler:
             raise ValueError("batch window must be non-negative")
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max batch size must be at least 1")
+        if priority_aging_ns is not None and priority_aging_ns <= 0:
+            raise ValueError("priority aging interval must be positive")
         if not isinstance(fleet, DeviceFleet):
             fleet = DeviceFleet(fleet)
         self.fleet = fleet
@@ -351,6 +407,13 @@ class CloudScheduler:
         # names) fails at construction, not mid-schedule.
         self._outages: List[ResolvedOutage] = (
             fault_plan.resolve(self.fleet) if fault_plan else [])
+        self.failure_plan = failure_plan
+        self._bursts: List[ResolvedBurst] = (
+            failure_plan.resolve(self.fleet) if failure_plan else [])
+        if health_policy is None and self._bursts:
+            health_policy = HealthPolicy()
+        self.health_policy = health_policy
+        self.priority_aging_ns = priority_aging_ns
 
     def _build_race(self, race_allocators, race_executor
                     ) -> Optional[StrategyRace]:
@@ -484,6 +547,18 @@ class CloudScheduler:
         def order_key(i: int) -> Tuple[float, float, int]:
             return (-submissions[i].priority, submissions[i].arrival_ns, i)
 
+        aging = self.priority_aging_ns
+
+        def aged_key(now: float):
+            """Order key with waiting-time priority boost: a pure
+            function of (arrival, now), so replays stay bit-identical."""
+            def key(i: int) -> Tuple[float, float, int]:
+                sub = submissions[i]
+                waited = max(0.0, now - sub.arrival_ns)
+                boost = int(waited // aging)
+                return (-(sub.priority + boost), sub.arrival_ns, i)
+            return key
+
         n_devices = len(self.fleet)
         events = EventQueue()
         pending: List[int] = []
@@ -509,6 +584,20 @@ class CloudScheduler:
         requeued: List[int] = []
         rejection_reasons: Dict[int, str] = {}
         outage_count = 0
+        # Circuit-breaker state: one breaker per device whenever a
+        # health policy is active (a failure plan implies the default).
+        health: Optional[FleetHealth] = (
+            FleetHealth(n_devices, self.health_policy)
+            if self.health_policy is not None else None)
+        bursts = self._bursts
+        batch_failures = 0
+
+        def burst_covers(d: int, dispatch_ns: float) -> bool:
+            return any(b.covers(d, dispatch_ns) for b in bursts)
+
+        def burst_is_permanent(d: int, dispatch_ns: float) -> bool:
+            return any(b.until_ns is None and b.covers(d, dispatch_ns)
+                       for b in bursts)
 
         for i, sub in enumerate(submissions):
             events.push(sub.arrival_ns, EventKind.ARRIVAL, i)
@@ -529,9 +618,14 @@ class CloudScheduler:
 
         def dispatch(now: float) -> None:
             nonlocal rr_cursor
+            if aging is not None and len(pending) > 1:
+                # Re-rank by waited-time-boosted priority so long-queued
+                # low-priority work eventually overtakes fresh arrivals.
+                pending.sort(key=aged_key(now))
             while pending:
                 free = [d for d in range(n_devices)
-                        if not busy[d] and not outage_depth[d]]
+                        if not busy[d] and not outage_depth[d]
+                        and (health is None or health[d].admits)]
                 if not free:
                     if all(eventually_dead):
                         # Nothing left to serve anyone — reject instead
@@ -632,8 +726,13 @@ class CloudScheduler:
                     # loop keeps scheduling.
                     compile_futures.extend(
                         self.compile_service.submit_allocation(batch))
+                # An injected failure burst decides the batch's fate at
+                # dispatch time, but the scheduler only *learns* it at
+                # completion time — exactly like a real backend
+                # returning an errored job.
+                ok = not burst_covers(chosen, start)
                 events.push(end, EventKind.COMPLETION,
-                            (chosen, epoch[chosen]))
+                            (chosen, epoch[chosen], ok))
 
         for event in events.drain():
             if event.kind is EventKind.ARRIVAL:
@@ -643,11 +742,47 @@ class CloudScheduler:
                 events.push(event.time_ns + self.batch_window_ns,
                             EventKind.DISPATCH)
             elif event.kind is EventKind.COMPLETION:
-                device_index, job_epoch = event.payload
+                device_index, job_epoch, ok = event.payload
                 if job_epoch != epoch[device_index]:
                     continue  # batch already failed under an outage
                 busy[device_index] = False
+                batch = inflight[device_index]
                 inflight[device_index] = None
+                if ok:
+                    if health is not None:
+                        health[device_index].record_success(event.time_ns)
+                else:
+                    # The batch ran and errored: it produced nothing,
+                    # so its programs rejoin the queue in priority
+                    # order (device time stays spent — ``load`` keeps
+                    # the wasted window, unlike an outage which
+                    # refunds the un-run remainder).
+                    assert batch is not None
+                    batch_failures += 1
+                    jobs.remove(batch)
+                    members = sorted(batch.members, key=order_key)
+                    for i in members:
+                        completion.pop(i, None)
+                    pending.extend(members)
+                    pending.sort(key=order_key)
+                    max_queue_depth = max(max_queue_depth, len(pending))
+                    requeued.extend(members)
+                    if health is not None:
+                        tripped = health[device_index].record_failure(
+                            event.time_ns)
+                        if tripped:
+                            if burst_is_permanent(device_index,
+                                                  batch.start_ns):
+                                # The device will fail every probe for
+                                # the rest of the run: keep it
+                                # quarantined and let hold-vs-reject
+                                # treat it as gone.
+                                eventually_dead[device_index] = True
+                            else:
+                                events.push(
+                                    event.time_ns
+                                    + health.policy.cooldown_ns,
+                                    EventKind.BREAKER, device_index)
                 events.push(event.time_ns, EventKind.DISPATCH)
             elif event.kind is EventKind.OUTAGE:
                 out = event.payload
@@ -670,7 +805,7 @@ class CloudScheduler:
                     inflight[d] = None
                     members = sorted(batch.members, key=order_key)
                     for i in members:
-                        del completion[i]
+                        completion.pop(i, None)
                     pending.extend(members)
                     pending.sort(key=order_key)
                     max_queue_depth = max(max_queue_depth, len(pending))
@@ -678,6 +813,13 @@ class CloudScheduler:
                 events.push(event.time_ns, EventKind.DISPATCH)
             elif event.kind is EventKind.RECOVERY:
                 outage_depth[event.payload] -= 1
+                events.push(event.time_ns, EventKind.DISPATCH)
+            elif event.kind is EventKind.BREAKER:
+                # Quarantine cooldown elapsed: the breaker (if still
+                # OPEN) turns HALF_OPEN and the next dispatches on the
+                # device act as readmission probes.
+                if health is not None:
+                    health[event.payload].cooldown_elapsed(event.time_ns)
                 events.push(event.time_ns, EventKind.DISPATCH)
             else:
                 dispatch(event.time_ns)
@@ -714,6 +856,11 @@ class CloudScheduler:
             rejection_reasons=rejection_reasons,
             outages=outage_count,
             requeued=requeued,
+            batch_failures=batch_failures,
+            breaker_trips=health.trips if health is not None else 0,
+            breaker_readmissions=(
+                health.readmissions if health is not None else 0),
+            breakers=health.summary() if health is not None else {},
         )
 
 

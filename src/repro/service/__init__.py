@@ -30,6 +30,11 @@ simulators), shaped like a cloud provider SDK::
   crash-recoverable job persistence (``store_path=`` /
   ``REPRO_JOB_STORE``) with resume-on-restart, and deterministic
   retry/backoff/timeout handling for every submission.
+- :class:`Gateway` / :class:`AdmissionController` — the multi-tenant
+  front door: per-user token-bucket quotas, priority classes,
+  backpressure and deadline shedding (typed
+  :class:`QuotaExceededError` / :class:`OverloadedError` refusals with
+  retry-after hints), persisted terminally as ``SHED``/``REJECTED``.
 
 The free functions this facade fronts —
 :func:`repro.core.execute_allocation`, :func:`repro.core.run_batch`,
@@ -38,12 +43,25 @@ layer; scheduler-backed jobs reproduce ``CloudScheduler.schedule``
 bit-identically (test-enforced).
 """
 
+from .admission import (
+    PRIORITY_CLASSES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionError,
+    AdmissionPolicy,
+    CostModel,
+    OverloadedError,
+    QuotaExceededError,
+    TokenBucket,
+    UserQuota,
+)
 from .backend import (
     BackendConfiguration,
     BaseBackend,
     CloudBackend,
     SimulatorBackend,
 )
+from .gateway import Gateway, GatewayTicket
 from .job import Job, JobError, JobSet, JobStatus
 from .provider import QuantumProvider, UnknownDeviceError, provider
 from .result import ProgramResult, Result, RunMetadata, ScheduleRecord
@@ -52,17 +70,27 @@ from .session import Session
 from .store import JobStore, StoredJob, StoredTransition
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "AdmissionPolicy",
     "BackendConfiguration",
     "BaseBackend",
     "CloudBackend",
+    "CostModel",
+    "Gateway",
+    "GatewayTicket",
     "Job",
     "JobError",
     "JobSet",
     "JobStatus",
     "JobStore",
     "JobTimeoutError",
+    "OverloadedError",
+    "PRIORITY_CLASSES",
     "ProgramResult",
     "QuantumProvider",
+    "QuotaExceededError",
     "Result",
     "RetryPolicy",
     "RunMetadata",
@@ -71,6 +99,8 @@ __all__ = [
     "SimulatorBackend",
     "StoredJob",
     "StoredTransition",
+    "TokenBucket",
     "UnknownDeviceError",
+    "UserQuota",
     "provider",
 ]

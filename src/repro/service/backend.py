@@ -51,6 +51,7 @@ from ..core.executor import (
     run_batch,
 )
 from ..core.faults import FaultPlan
+from ..core.health import DeviceFailurePlan, HealthPolicy
 from ..core.scheduler import (
     CloudScheduler,
     ScheduleOutcome,
@@ -107,6 +108,18 @@ class BackendConfiguration:
     #: Deterministic device-outage plan injected into the scheduler's
     #: event stream (chaos testing; ``None`` = a healthy fleet).
     fault_plan: Optional[FaultPlan] = None
+    #: Deterministic device-*misbehavior* plan: batches dispatched on a
+    #: covered device fail at completion (the device stays schedulable,
+    #: unlike an outage) — the signal circuit breakers exist to infer.
+    failure_plan: Optional[DeviceFailurePlan] = None
+    #: Per-device circuit-breaker policy.  ``None`` with a
+    #: ``failure_plan`` enables the default policy; ``None`` without
+    #: one disables breakers entirely (legacy behaviour).
+    health_policy: Optional[HealthPolicy] = None
+    #: Nanoseconds of queue wait per +1 effective priority (anti-
+    #: starvation aging for multi-tenant priority classes).  ``None``
+    #: keeps the legacy strict-priority order bit-identical.
+    priority_aging_ns: Optional[float] = None
 
     def replace(self, **overrides) -> "BackendConfiguration":
         """A copy with *overrides* applied (``None`` values ignored)."""
@@ -417,6 +430,9 @@ class CloudBackend(BaseBackend):
                              if with_compile_service else None),
             race_allocators=cfg.race_allocators,
             fault_plan=cfg.fault_plan,
+            failure_plan=cfg.failure_plan,
+            health_policy=cfg.health_policy,
+            priority_aging_ns=cfg.priority_aging_ns,
         )
 
     def run(

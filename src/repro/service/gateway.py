@@ -1,0 +1,401 @@
+"""The multi-tenant gateway: a JSON shim where quotas get enforced.
+
+:class:`Gateway` is the service's front door — a thin, dependency-free
+adapter between JSON-shaped requests and the provider stack.  It is a
+*plain callable app*: every operation takes and returns JSON-safe
+dicts, and :meth:`Gateway.handle` dispatches ``{"op": ...}`` envelopes,
+so the same object backs an in-process client, a test harness, or a
+trivial ``http.server`` loop without new dependencies.
+
+What the gateway adds over calling ``backend.run`` directly:
+
+- **Authentication**: every request carries a bearer *token*; tokens
+  map to user names, and a ticket can only be queried or cancelled by
+  the user who submitted it.
+- **Admission** (:class:`~repro.service.AdmissionController`): each
+  submission is admitted or refused *at the door*, on the virtual
+  clock of its declared ``arrival_ns``.  Refusals come back as
+  structured JSON (error type, reason, ``retry_after_ns`` hint) and
+  are persisted terminally in the :class:`~repro.service.JobStore` as
+  ``SHED``/``REJECTED`` — a restart never re-queues refused work.
+- **Batched service**: accepted submissions buffer as *tickets* and
+  :meth:`Gateway.flush` submits them as **one** carrier job through
+  :meth:`CloudBackend.run`, so the discrete-event scheduler sees the
+  whole accepted stream contending — same admission, batching, and
+  dispatch physics as a direct scheduler call, and the carrier's
+  replay spec makes the accepted work durable.
+
+Determinism: admission decisions depend only on (policy, cost model,
+arrival stream).  Replaying the same submissions through a fresh
+gateway reproduces the identical accept/shed/reject partition, ticket
+ids included — the property the overload CI job asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..circuits.circuit import QuantumCircuit
+from ..core.scheduler import SubmittedProgram, json_safe_num
+from ..sim.readout import SeedLike
+from .admission import AdmissionController, AdmissionDecision, \
+    AdmissionPolicy, CostModel
+from .backend import CloudBackend
+from .job import Job
+
+__all__ = ["Gateway", "GatewayTicket"]
+
+
+@dataclass
+class GatewayTicket:
+    """One gateway submission: identity, verdict, and (if accepted)
+    where its programs landed in the carrier job."""
+
+    job_id: str
+    user: str
+    circuits: List[QuantumCircuit]
+    arrival_ns: float
+    deadline_ns: Optional[float]
+    decision: AdmissionDecision
+    #: Set by :meth:`Gateway.flush` for accepted tickets.
+    carrier: Optional[Job] = None
+    #: ``[start, stop)`` program indices inside the carrier job.
+    span: Optional[Tuple[int, int]] = None
+    cancelled: bool = False
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision.admitted
+
+
+def _as_circuits(circuits: Union[QuantumCircuit, Sequence[QuantumCircuit]]
+                 ) -> List[QuantumCircuit]:
+    if isinstance(circuits, QuantumCircuit):
+        return [circuits]
+    out = list(circuits)
+    if not all(isinstance(c, QuantumCircuit) for c in out):
+        raise TypeError("submission circuits must be QuantumCircuits")
+    return out
+
+
+class Gateway:
+    """Submit/status/result/cancel over one :class:`CloudBackend`.
+
+    *tokens* maps bearer token -> user name (the enforcement boundary:
+    a caller can only spend the quota of the user its token names).
+    *policy* configures quotas and shedding thresholds; the cost model
+    is built from the backend's fleet and configured job overhead, so
+    admission prices work with the same measured tables the scheduler
+    dispatches with.
+    """
+
+    def __init__(self, backend: CloudBackend, policy: AdmissionPolicy,
+                 tokens: Mapping[str, str],
+                 shots: Optional[int] = None,
+                 execute: bool = True) -> None:
+        if not tokens:
+            raise ValueError("the gateway needs at least one auth token")
+        self.backend = backend
+        self.provider = backend.provider
+        self.controller = AdmissionController(
+            policy,
+            CostModel(backend.fleet,
+                      backend.configuration.job_overhead_ns))
+        self._tokens = dict(tokens)
+        self._shots = shots
+        self._execute = execute
+        self._tickets: Dict[str, GatewayTicket] = {}
+        self._pending: List[str] = []
+        self._carriers: List[Job] = []
+        self.counts: Dict[str, int] = {
+            "submitted": 0, "accepted": 0, "shed": 0,
+            "rejected": 0, "auth_failed": 0}
+
+    # ------------------------------------------------------------------
+    # auth
+    # ------------------------------------------------------------------
+    def _authenticate(self, token: Optional[str]) -> Optional[str]:
+        """The user a token names, or ``None`` (counted) if invalid."""
+        user = self._tokens.get(token) if token else None
+        if user is None:
+            self.counts["auth_failed"] += 1
+        return user
+
+    @staticmethod
+    def _auth_error() -> Dict[str, object]:
+        return {"ok": False, "error": "AuthError",
+                "reason": "unknown or missing auth token"}
+
+    def _owned(self, user: str, job_id: str
+               ) -> Union[GatewayTicket, Dict[str, object]]:
+        ticket = self._tickets.get(job_id)
+        if ticket is None:
+            return {"ok": False, "error": "UnknownJobError",
+                    "reason": f"no such job {job_id!r}"}
+        if ticket.user != user:
+            # Deliberately the same shape as an unknown id: a foreign
+            # token cannot probe which job ids exist.
+            return {"ok": False, "error": "UnknownJobError",
+                    "reason": f"no such job {job_id!r}"}
+        return ticket
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def submit(self, token: str,
+               circuits: Union[QuantumCircuit, Sequence[QuantumCircuit]],
+               arrival_ns: float,
+               deadline_ns: Optional[float] = None) -> Dict[str, object]:
+        """Admit or refuse one submission at virtual time *arrival_ns*.
+
+        Accepted submissions return ``{"ok": True, "job_id", "status":
+        "queued", ...}`` and buffer until :meth:`flush`.  Refused ones
+        return ``{"ok": False, ...}`` with the typed error name,
+        reason, and ``retry_after_ns`` hint, and are persisted
+        terminally in the job store under the same id space as real
+        jobs.
+        """
+        user = self._authenticate(token)
+        if user is None:
+            return self._auth_error()
+        batch = _as_circuits(circuits)
+        decision = self.controller.decide(user, batch, arrival_ns,
+                                          deadline_ns)
+        job_id, number = self.provider.reserve_job_id()
+        ticket = GatewayTicket(
+            job_id=job_id, user=user, circuits=batch,
+            arrival_ns=float(arrival_ns), deadline_ns=deadline_ns,
+            decision=decision)
+        self._tickets[job_id] = ticket
+        self.counts["submitted"] += 1
+        if not decision.admitted:
+            self.counts[decision.status] += 1
+            store = self.provider.store
+            if store is not None:
+                store.record_refusal(job_id, number, self.backend.name,
+                                     decision.status, decision.reason)
+            error = decision.error()
+            payload = error.to_dict() if error is not None else {}
+            payload.update({"ok": False, "job_id": job_id,
+                            "decision": decision.to_dict()})
+            return payload
+        self.counts["accepted"] += 1
+        self._pending.append(job_id)
+        return {
+            "ok": True,
+            "job_id": job_id,
+            "status": "queued",
+            "user": user,
+            "priority_class": decision.priority_class,
+            "priority": decision.priority,
+            "est_wait_ns": float(decision.est_wait_ns),
+            "num_programs": len(batch),
+        }
+
+    def flush(self, seed: SeedLike = None) -> Dict[str, object]:
+        """Submit every buffered accepted ticket as one carrier job.
+
+        The scheduler sees the whole accepted stream at once — real
+        arrival times, users, and priority-class priorities — so
+        contention, batching, and breaker behaviour match a direct
+        :meth:`CloudScheduler.schedule` call on the accepted traffic.
+        No-op (``carrier_job_id: None``) when nothing is buffered.
+        """
+        if not self._pending:
+            return {"ok": True, "carrier_job_id": None, "programs": 0}
+        subs: List[SubmittedProgram] = []
+        spans: List[Tuple[str, int, int]] = []
+        for job_id in self._pending:
+            ticket = self._tickets[job_id]
+            start = len(subs)
+            for circuit in ticket.circuits:
+                subs.append(SubmittedProgram(
+                    circuit=circuit,
+                    arrival_ns=ticket.arrival_ns,
+                    user=ticket.user,
+                    priority=int(ticket.decision.priority or 0),
+                ))
+            spans.append((job_id, start, len(subs)))
+        carrier = self.backend.run(subs, shots=self._shots, seed=seed,
+                                   execute=self._execute)
+        for job_id, start, stop in spans:
+            ticket = self._tickets[job_id]
+            ticket.carrier = carrier
+            ticket.span = (start, stop)
+        self._carriers.append(carrier)
+        self._pending.clear()
+        return {"ok": True, "carrier_job_id": carrier.job_id,
+                "programs": len(subs), "tickets": len(spans)}
+
+    def status(self, token: str, job_id: str) -> Dict[str, object]:
+        """Lifecycle state of one ticket (non-blocking)."""
+        user = self._authenticate(token)
+        if user is None:
+            return self._auth_error()
+        ticket = self._owned(user, job_id)
+        if isinstance(ticket, dict):
+            return ticket
+        return {"ok": True, "job_id": job_id,
+                "status": self._ticket_status(ticket),
+                "priority_class": ticket.decision.priority_class}
+
+    def result(self, token: str, job_id: str,
+               timeout: Optional[float] = None) -> Dict[str, object]:
+        """Block for one ticket's result (its slice of the carrier).
+
+        Refused tickets return their stored refusal (with the
+        retry-after hint); accepted-but-unflushed tickets report
+        ``not ready``; carrier failures surface the carrier's error.
+        """
+        user = self._authenticate(token)
+        if user is None:
+            return self._auth_error()
+        ticket = self._owned(user, job_id)
+        if isinstance(ticket, dict):
+            return ticket
+        decision = ticket.decision
+        if not decision.admitted:
+            error = decision.error()
+            payload = error.to_dict() if error is not None else {}
+            payload.update({"ok": False, "job_id": job_id,
+                            "status": decision.status})
+            return payload
+        if ticket.cancelled:
+            return {"ok": False, "job_id": job_id, "status": "cancelled",
+                    "error": "CancelledError",
+                    "reason": "ticket was cancelled before service"}
+        if ticket.carrier is None:
+            return {"ok": False, "job_id": job_id, "status": "queued",
+                    "error": "NotReadyError",
+                    "reason": "accepted but not yet flushed to the "
+                              "scheduler; call flush first"}
+        try:
+            result = ticket.carrier.result(timeout)
+        except Exception as exc:  # noqa: BLE001 - serialized to JSON
+            return {"ok": False, "job_id": job_id, "status": "error",
+                    "error": type(exc).__name__, "reason": str(exc)}
+        start, stop = ticket.span or (0, 0)
+        programs = [p.to_dict() for p in result.programs[start:stop]]
+        if programs:
+            turnarounds = [json_safe_num(p.get("turnaround_ns"))
+                           for p in programs]
+        else:
+            # Schedule-only carriers (execute=False) have no program
+            # results; queue timings still exist in the schedule.
+            completion = getattr(result.schedule, "completion_ns", {})
+            turnarounds = [
+                (None if completion.get(i) is None
+                 else float(completion[i]) - ticket.arrival_ns)
+                for i in range(start, stop)]
+        return {
+            "ok": True,
+            "job_id": job_id,
+            "status": "done",
+            "carrier_job_id": ticket.carrier.job_id,
+            "programs": programs,
+            "turnaround_ns": turnarounds,
+        }
+
+    def cancel(self, token: str, job_id: str) -> Dict[str, object]:
+        """Cancel an accepted ticket that has not been flushed yet.
+
+        Tickets already handed to the scheduler (or already refused)
+        cannot be cancelled; the response says which.
+        """
+        user = self._authenticate(token)
+        if user is None:
+            return self._auth_error()
+        ticket = self._owned(user, job_id)
+        if isinstance(ticket, dict):
+            return ticket
+        if not ticket.decision.admitted:
+            return {"ok": False, "job_id": job_id,
+                    "status": ticket.decision.status,
+                    "reason": "already terminal (refused at admission)"}
+        if ticket.cancelled:
+            return {"ok": True, "job_id": job_id, "status": "cancelled"}
+        if ticket.carrier is not None:
+            return {"ok": False, "job_id": job_id,
+                    "status": self._ticket_status(ticket),
+                    "reason": "already flushed to the scheduler; the "
+                              "carrier job cannot drop one program"}
+        ticket.cancelled = True
+        self._pending.remove(job_id)
+        return {"ok": True, "job_id": job_id, "status": "cancelled"}
+
+    def summary(self) -> Dict[str, object]:
+        """Gateway counters + the admission controller's breakdown.
+
+        ``counts`` satisfies the shed-accounting invariant:
+        ``accepted + shed + rejected == submitted`` (auth failures are
+        turned away before counting as submissions).
+        """
+        return {
+            "ok": True,
+            "counts": dict(self.counts),
+            "admission": self.controller.summary(),
+            "pending": len(self._pending),
+            "carriers": [job.job_id for job in self._carriers],
+        }
+
+    # ------------------------------------------------------------------
+    def _ticket_status(self, ticket: GatewayTicket) -> str:
+        if not ticket.decision.admitted:
+            return ticket.decision.status
+        if ticket.cancelled:
+            return "cancelled"
+        if ticket.carrier is None:
+            return "queued"
+        return ticket.carrier.status().value
+
+    def ticket(self, job_id: str) -> GatewayTicket:
+        """Internal/testing access to a ticket (no auth)."""
+        return self._tickets[job_id]
+
+    @property
+    def carriers(self) -> List[Job]:
+        """Carrier jobs flushed so far, in flush order."""
+        return list(self._carriers)
+
+    # ------------------------------------------------------------------
+    # the JSON envelope app
+    # ------------------------------------------------------------------
+    def handle(self, request: Mapping[str, object]) -> Dict[str, object]:
+        """Dispatch one ``{"op": ...}`` envelope — the callable app.
+
+        Ops: ``submit`` (token, circuits, arrival_ns, [deadline_ns]),
+        ``status``/``result``/``cancel`` (token, job_id), ``flush``
+        ([seed]), ``summary``.  Unknown ops and bad payloads come back
+        as structured errors, never exceptions — the shim's contract
+        with a transport loop.
+        """
+        op = request.get("op")
+        try:
+            if op == "submit":
+                return self.submit(
+                    request.get("token"),  # type: ignore[arg-type]
+                    request["circuits"],   # type: ignore[arg-type]
+                    float(request["arrival_ns"]),  # type: ignore[arg-type]
+                    request.get("deadline_ns"))    # type: ignore[arg-type]
+            if op == "status":
+                return self.status(request.get("token"),  # type: ignore[arg-type]
+                                   str(request.get("job_id")))
+            if op == "result":
+                return self.result(request.get("token"),  # type: ignore[arg-type]
+                                   str(request.get("job_id")),
+                                   request.get("timeout"))  # type: ignore[arg-type]
+            if op == "cancel":
+                return self.cancel(request.get("token"),  # type: ignore[arg-type]
+                                   str(request.get("job_id")))
+            if op == "flush":
+                return self.flush(request.get("seed"))  # type: ignore[arg-type]
+            if op == "summary":
+                return self.summary()
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": type(exc).__name__,
+                    "reason": str(exc)}
+        return {"ok": False, "error": "UnknownOpError",
+                "reason": f"unknown op {op!r}; expected one of "
+                          "submit/status/result/cancel/flush/summary"}

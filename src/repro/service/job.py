@@ -41,12 +41,20 @@ class JobStatus(enum.Enum):
     DONE = "done"
     CANCELLED = "cancelled"
     ERROR = "error"
+    #: Refused by admission control to protect an overloaded service
+    #: (backpressure or an unmeetable deadline).  Terminal: the work
+    #: never entered the queue, and a restart must not re-queue it.
+    SHED = "shed"
+    #: Refused by admission control as the caller's fault (no quota, or
+    #: the user's token bucket was empty).  Terminal, like SHED.
+    REJECTED = "rejected"
 
     @property
     def is_final(self) -> bool:
         """Whether the job can no longer change state."""
         return self in (JobStatus.DONE, JobStatus.CANCELLED,
-                        JobStatus.ERROR)
+                        JobStatus.ERROR, JobStatus.SHED,
+                        JobStatus.REJECTED)
 
 
 class JobError(RuntimeError):
@@ -107,12 +115,17 @@ class Job:
     def __init__(self, job_id: str, backend: "Union[BaseBackend, str]",
                  future: "Future[Result]",
                  state: Optional[_JobState] = None,
-                 on_cancel: Optional[Callable[[], None]] = None) -> None:
+                 on_cancel: Optional[Callable[[], None]] = None,
+                 final_status: Optional[JobStatus] = None) -> None:
         self._job_id = job_id
         self._backend = backend
         self._future = future
         self._state = state or _JobState()
         self._on_cancel = on_cancel
+        # Terminal-state refinement for rehydrated handles: a stored
+        # SHED/REJECTED job resolves to an exception future, but its
+        # reported status should stay the stored refusal, not ERROR.
+        self._final_status = final_status
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +151,8 @@ class Job:
         if fut.cancelled():
             return JobStatus.CANCELLED
         if fut.done():
+            if self._final_status is not None:
+                return self._final_status
             return (JobStatus.ERROR if fut.exception() is not None
                     else JobStatus.DONE)
         # The retry wrapper runs *inside* the pool task, so the future

@@ -52,9 +52,9 @@ from .backend import (
     CloudBackend,
     SimulatorBackend,
 )
-from .job import Job, _JobState
+from .job import Job, JobStatus, _JobState
 from .result import Result
-from .retry import RetryPolicy
+from .retry import RetryPolicy, publication_allowed
 from .session import Session
 from .store import JobStore, StoredJob
 
@@ -196,6 +196,11 @@ class QuantumProvider:
             cache_path = os.environ.get(_CACHE_PATH_ENV) or None
         self.cache = ExecutionCache(max_entries=cache_entries,
                                     store_path=cache_path)
+        # Attempts abandoned by a retry timeout keep running on their
+        # daemon threads; the fence gate stops them from publishing
+        # stale artifacts into the shared cache (no-op for unfenced
+        # threads, so this costs nothing without a retry policy).
+        self.cache.write_gate = publication_allowed
         self.compile_service = CompileService(
             max_workers=compile_workers, mode=compile_mode,
             cache=self.cache)
@@ -354,6 +359,11 @@ class QuantumProvider:
     @staticmethod
     def _rehydrated_handle(record: StoredJob) -> Job:
         """A resolved job handle for a stored final-state record."""
+        # Local import: admission sits above the job/store primitives
+        # this module already uses, and importing it at module scope
+        # would cycle through the service package init.
+        from .admission import OverloadedError, QuotaExceededError
+
         future: "Future[Result]" = Future()
         state = _JobState()
         state.attempts = record.attempts
@@ -361,6 +371,19 @@ class QuantumProvider:
             future.set_result(Result.from_dict(record.result))
         elif record.status == "cancelled":
             future.cancel()
+        elif record.status in ("shed", "rejected"):
+            # Admission refusals rehydrate as their typed errors, so a
+            # restarted gateway reports the same refusal the original
+            # caller saw — and never re-queues the work.
+            cls = (OverloadedError if record.status == "shed"
+                   else QuotaExceededError)
+            future.set_exception(cls(
+                record.error
+                or f"job {record.job_id} was {record.status} "
+                   "by admission control"))
+            return Job(record.job_id, record.backend_name, future,
+                       state=state,
+                       final_status=JobStatus(record.status))
         else:
             future.set_exception(RuntimeError(
                 record.error
@@ -416,6 +439,22 @@ class QuantumProvider:
     # ------------------------------------------------------------------
     # the job pool
     # ------------------------------------------------------------------
+    def reserve_job_id(self) -> "tuple[str, int]":
+        """Allocate the next ``(job_id, job_number)`` without queueing.
+
+        The gateway uses this for submissions refused at admission: the
+        refusal gets a real provider-sequence id (recorded terminally in
+        the store via :meth:`JobStore.record_refusal`), so accepted and
+        refused work share one id space and the durable history orders
+        them exactly as they arrived.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("provider is shut down")
+            self._job_counter += 1
+            number = self._job_counter
+            return f"job-{number:06d}", number
+
     def _submit_job(self, backend: BaseBackend,
                     fn: Callable[[str], Result],
                     spec: Optional[dict] = None) -> Job:
@@ -568,14 +607,30 @@ class QuantumProvider:
     def shutdown(self, wait: bool = True) -> None:
         """Stop the job pool, the compile and execution services.
 
-        With ``wait=True`` queued jobs finish first; the caches stay
-        readable either way.  Idempotent.
+        With ``wait=True`` queued jobs drain: everything already
+        submitted finishes (and lands in the store) first.  With
+        ``wait=False`` queued-but-unstarted jobs are **cancelled
+        deterministically**, in submission order, and recorded as
+        CANCELLED in the durable store — never left QUEUED to be
+        silently re-run by the next resume.  Running jobs cannot be
+        interrupted either way (the kernels hold no cancellation
+        points); ``wait=False`` simply stops waiting for them.  The
+        caches stay readable either way.  Idempotent.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._pool.shutdown(wait=wait)
+            jobs = list(self._jobs.values())
+        if not wait:
+            # Cancel in submission order so the store's transition
+            # history — and therefore what a resume sees — does not
+            # depend on pool-thread timing.
+            for job in jobs:
+                job.cancel()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
         self.compile_service.shutdown(wait=wait)
         self.execution_service.shutdown(wait=wait)
         if self._store is not None:

@@ -15,6 +15,19 @@ kernels hold no cancellation points, so a timed-out attempt is
 *abandoned* (left to finish in the background) rather than interrupted,
 and the job moves on to its next attempt or fails with
 :class:`JobTimeoutError`.
+
+Abandoned attempts are **fenced**: each timed attempt carries an
+:class:`AttemptFence` token in its thread's local storage, and the
+fence is marked abandoned the instant the timeout fires.  Shared sinks
+(the provider wires :func:`publication_allowed` into the
+:class:`~repro.core.ExecutionCache`'s write gate) consult it before
+accepting a write, so a superseded attempt that keeps simulating in the
+background can no longer publish stale artifacts into state the live
+attempt — or any other job — reads.  The fence is thread-local by
+design: work an attempt hands to the shared compile/execution pools is
+published by *pool* threads, which is safe — those writes are
+content-addressed (structural keys), so a late one is value-identical
+to what the winning attempt would store.
 """
 
 from __future__ import annotations
@@ -28,7 +41,48 @@ import numpy as np
 
 from .job import JobError
 
-__all__ = ["RetryPolicy", "JobTimeoutError"]
+__all__ = ["RetryPolicy", "JobTimeoutError", "AttemptFence",
+           "current_fence", "publication_allowed"]
+
+
+class AttemptFence:
+    """Publication token of one timed attempt.
+
+    Created per attempt by :meth:`RetryPolicy.run_attempt`, installed in
+    the attempt thread's local storage, and flipped to ``abandoned``
+    when the timeout fires.  A single monotonic flag — readable without
+    locking from any thread the attempt runs code on.
+    """
+
+    __slots__ = ("job_id", "attempt", "abandoned")
+
+    def __init__(self, job_id: str, attempt: int) -> None:
+        self.job_id = job_id
+        self.attempt = attempt
+        self.abandoned = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "abandoned" if self.abandoned else "live"
+        return f"<AttemptFence {self.job_id}#{self.attempt} {state}>"
+
+
+_FENCE = threading.local()
+
+
+def current_fence() -> Optional[AttemptFence]:
+    """The fence of the attempt running on this thread, if any."""
+    return getattr(_FENCE, "fence", None)
+
+
+def publication_allowed() -> bool:
+    """Whether this thread may publish into shared state.
+
+    ``True`` on any thread not running a fenced attempt (the common
+    case — unfenced work is never superseded), ``False`` once this
+    thread's attempt has been abandoned by its timeout.
+    """
+    fence = current_fence()
+    return fence is None or not fence.abandoned
 
 
 class JobTimeoutError(TimeoutError):
@@ -110,19 +164,25 @@ class RetryPolicy:
         Without a timeout the call is inline.  With one, the attempt
         runs on a daemon thread; on timeout it is abandoned (the
         kernels cannot be interrupted) and :class:`JobTimeoutError`
-        raises — itself retryable under the policy.
+        raises — itself retryable under the policy.  The abandoned
+        thread's :class:`AttemptFence` is marked *before* the error
+        raises, so by the time the next attempt (or the caller) runs,
+        the stale thread can no longer publish into gated shared state.
         """
         if self.attempt_timeout_s is None:
             return fn()
         outcome: dict = {}
         done = threading.Event()
+        fence = AttemptFence(job_id, attempt)
 
         def target() -> None:
+            _FENCE.fence = fence
             try:
                 outcome["value"] = fn()
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 outcome["error"] = exc
             finally:
+                _FENCE.fence = None
                 done.set()
 
         worker = threading.Thread(
@@ -130,6 +190,7 @@ class RetryPolicy:
             daemon=True)
         worker.start()
         if not done.wait(self.attempt_timeout_s):
+            fence.abandoned = True
             raise JobTimeoutError(job_id, attempt, self.attempt_timeout_s)
         if "error" in outcome:
             raise outcome["error"]

@@ -44,8 +44,13 @@ _SCHEMA_VERSION = 1
 #: the ``meta`` convention) marks the file as someone else's database.
 _OWN_TABLES = frozenset({"meta", "jobs", "transitions", "sqlite_sequence"})
 
-#: Statuses that survive a restart as work-to-redo.
+#: Statuses that survive a restart as work-to-redo.  Admission
+#: refusals ("shed"/"rejected") are terminal by construction — a
+#: restart must never re-queue work the gateway refused.
 _PENDING_STATUSES = frozenset({"queued", "running", "retrying"})
+
+#: Terminal statuses :meth:`JobStore.record_refusal` accepts.
+_REFUSAL_STATUSES = frozenset({"shed", "rejected"})
 
 
 def _status_value(status: Union[str, "JobStatus"]) -> str:
@@ -276,6 +281,44 @@ class JobStore:
                 "INSERT INTO transitions (job_id, status, attempt, "
                 "error, time) VALUES (?, ?, 0, NULL, ?)",
                 (job_id, "queued", now))
+
+    def record_refusal(self, job_id: str, job_number: int,
+                       backend_name: str,
+                       status: Union[str, "JobStatus"],
+                       reason: Optional[str] = None) -> None:
+        """Persist an admission refusal: a submission born terminal.
+
+        The record lands directly in ``shed`` or ``rejected`` (never
+        ``queued``), so resume-on-restart skips it — the accept/refuse
+        partition of a replayed overload scenario is part of the
+        durable history, not something a restart re-litigates.
+        """
+        value = _status_value(status)
+        if value not in _REFUSAL_STATUSES:
+            raise ValueError(
+                f"refusal status must be one of "
+                f"{sorted(_REFUSAL_STATUSES)}, not {value!r}")
+        now = time.time()
+        record = StoredJob(
+            job_id=job_id, job_number=int(job_number),
+            backend_name=backend_name, status=value,
+            attempts=0, error=reason, submitted=now, updated=now)
+        with self._lock:
+            self._records[job_id] = record
+            self._transitions.append(StoredTransition(
+                job_id=job_id, status=value, attempt=0,
+                error=reason, time=now))
+            self._mirror(
+                "INSERT OR REPLACE INTO jobs (job_id, job_number, "
+                "backend, status, attempts, error, spec, result, "
+                "submitted, updated) VALUES (?, ?, ?, ?, 0, ?, NULL, "
+                "NULL, ?, ?)",
+                (job_id, int(job_number), backend_name, value,
+                 reason, now, now))
+            self._mirror(
+                "INSERT INTO transitions (job_id, status, attempt, "
+                "error, time) VALUES (?, ?, 0, ?, ?)",
+                (job_id, value, reason, now))
 
     def record_transition(self, job_id: str,
                           status: Union[str, "JobStatus"],

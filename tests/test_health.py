@@ -1,0 +1,280 @@
+"""Circuit-breaker unit tests + scheduler integration: trip on failure
+bursts, re-queue in-flight work to survivors, readmit after half-open
+probes — all deterministic under replay."""
+
+import pytest
+
+from repro.core import (
+    BreakerState,
+    CircuitBreaker,
+    CloudScheduler,
+    DeviceFailurePlan,
+    FailureBurst,
+    FleetHealth,
+    HealthPolicy,
+    SubmittedProgram,
+)
+from repro.hardware import DeviceFleet, linear_device
+from repro.workloads import workload
+
+
+def _fleet(n=2):
+    # Distinct sizes => distinct names (linear5, linear6, ...), so
+    # bursts can be resolved by device name unambiguously.
+    return DeviceFleet([linear_device(5 + i, seed=i) for i in range(n)])
+
+
+def _stream(num, gap_ns=1e6):
+    qc = workload("bell").circuit()
+    return [SubmittedProgram(qc, arrival_ns=i * gap_ns, user=f"u{i % 3}")
+            for i in range(num)]
+
+
+class TestHealthPolicy:
+    def test_defaults_valid(self):
+        policy = HealthPolicy()
+        assert policy.failure_threshold == 3
+        assert policy.cooldown_ns > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"window": -1},
+        {"max_error_rate": 0.0},
+        {"max_error_rate": 1.5},
+        {"cooldown_ns": 0.0},
+        {"probe_successes": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_trip(self):
+        b = CircuitBreaker(HealthPolicy(failure_threshold=3))
+        assert not b.record_failure(1.0)
+        assert not b.record_failure(2.0)
+        assert b.record_failure(3.0)  # third consecutive -> trip
+        assert b.state is BreakerState.OPEN
+        assert not b.admits
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker(HealthPolicy(failure_threshold=2))
+        b.record_failure(1.0)
+        b.record_success(2.0)
+        assert not b.record_failure(3.0)  # streak restarted
+        assert b.state is BreakerState.CLOSED
+
+    def test_error_rate_trips_flapping_device(self):
+        # Alternating success/failure never hits the consecutive
+        # threshold but exceeds the 50% window rate once the window
+        # fills (strictly more failures than successes).
+        policy = HealthPolicy(failure_threshold=10, window=4,
+                              max_error_rate=0.5)
+        b = CircuitBreaker(policy)
+        b.record_failure(1.0)
+        b.record_success(2.0)
+        b.record_failure(3.0)
+        assert b.state is BreakerState.CLOSED  # window not full yet
+        assert b.record_failure(4.0)  # window [F,S,F,F]: 75% > 50%
+        assert b.state is BreakerState.OPEN
+
+    def test_partial_window_never_trips_rate(self):
+        policy = HealthPolicy(failure_threshold=10, window=8,
+                              max_error_rate=0.5)
+        b = CircuitBreaker(policy)
+        for t in range(3):
+            assert not b.record_failure(float(t))
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_probes_readmit(self):
+        policy = HealthPolicy(failure_threshold=1, probe_successes=2)
+        b = CircuitBreaker(policy)
+        assert b.record_failure(1.0)
+        b.cooldown_elapsed(2.0)
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.admits and b.probing
+        assert not b.record_success(3.0)  # one probe is not enough
+        assert b.record_success(4.0)      # second closes it
+        assert b.state is BreakerState.CLOSED
+        assert b.readmissions == 1
+
+    def test_failed_probe_retrips(self):
+        policy = HealthPolicy(failure_threshold=1, probe_successes=2)
+        b = CircuitBreaker(policy)
+        b.record_failure(1.0)
+        b.cooldown_elapsed(2.0)
+        b.record_success(3.0)
+        assert b.record_failure(4.0)  # one bad probe -> re-quarantined
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 2
+
+    def test_summary_counts(self):
+        b = CircuitBreaker(HealthPolicy(failure_threshold=1))
+        b.record_failure(1.0)
+        summary = b.summary()
+        assert summary["state"] == "open"
+        assert summary["trips"] == 1
+        assert summary["failures"] == 1
+
+
+class TestFleetHealth:
+    def test_indexing_and_aggregates(self):
+        health = FleetHealth(3, HealthPolicy(failure_threshold=1))
+        health[1].record_failure(1.0)
+        assert health.trips == 1
+        assert len(health) == 3
+        assert set(health.summary()) == {"0", "1", "2"}
+
+    def test_needs_a_device(self):
+        with pytest.raises(ValueError):
+            FleetHealth(0, HealthPolicy())
+
+
+class TestFailurePlan:
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            FailureBurst(0, start_ns=-1.0)
+        with pytest.raises(ValueError):
+            FailureBurst(0, start_ns=5.0, until_ns=5.0)
+
+    def test_resolve_by_name_and_index(self):
+        fleet = _fleet(2)
+        plan = DeviceFailurePlan.burst(fleet[0].name, 0.0, 1e6) \
+            .with_burst(1, 2e6)
+        resolved = plan.resolve(fleet)
+        assert [r.device_index for r in resolved] == [0, 1]
+        assert resolved[0].covers(0, 5e5)
+        assert not resolved[0].covers(1, 5e5)
+        assert not resolved[0].covers(0, 1e6)  # end-exclusive
+
+    def test_permanent_burst_covers_forever(self):
+        plan = DeviceFailurePlan.burst(0, 1e6)
+        resolved = plan.resolve(_fleet(1))
+        assert resolved[0].covers(0, 1e12)
+
+    def test_empty_plan_is_falsy(self):
+        assert not DeviceFailurePlan()
+        assert DeviceFailurePlan.burst(0, 0.0)
+
+
+class TestSchedulerBreakerIntegration:
+    def _schedule(self, plan=None, policy=None, num=30):
+        scheduler = CloudScheduler(
+            _fleet(2), batch_window_ns=0.0, max_batch_size=1,
+            failure_plan=plan, health_policy=policy)
+        return scheduler.schedule(_stream(num))
+
+    def test_healthy_fleet_untouched(self):
+        out = self._schedule()
+        assert out.batch_failures == 0
+        assert out.breaker_trips == 0
+        assert out.breakers == {}
+
+    def test_burst_trips_requeues_and_readmits(self):
+        policy = HealthPolicy(failure_threshold=2, cooldown_ns=3e6,
+                              probe_successes=2)
+        plan = DeviceFailurePlan.burst(0, 0.0, 2.2e7)
+        out = self._schedule(plan, policy)
+        assert out.batch_failures > 0
+        assert out.breaker_trips >= 1
+        assert out.breaker_readmissions >= 1
+        # Every program still completes: failed batches re-queue to the
+        # survivor (or to the readmitted device after its probes).
+        assert len(out.completion_ns) == 30
+        assert out.breakers["0"]["trips"] == out.breaker_trips
+
+    def test_in_flight_requeue_lands_on_survivor(self):
+        policy = HealthPolicy(failure_threshold=1, cooldown_ns=1e9,
+                              probe_successes=1)
+        plan = DeviceFailurePlan.burst(0, 0.0, 5e6)
+        scheduler = CloudScheduler(
+            _fleet(2), batch_window_ns=0.0, max_batch_size=1,
+            failure_plan=plan, health_policy=policy)
+        out = scheduler.schedule(_stream(10, gap_ns=2e5))
+        assert len(out.completion_ns) == 10
+        # After the (long-cooldown) trip everything runs on device 1.
+        post_trip = [j for j in out.jobs if j.start_ns > 1e6]
+        assert post_trip and all(
+            j.device_name == scheduler.fleet[1].name for j in post_trip)
+
+    def test_permanent_burst_quarantines_forever(self):
+        policy = HealthPolicy(failure_threshold=1, cooldown_ns=1e6,
+                              probe_successes=1)
+        plan = DeviceFailurePlan.burst(0, 0.0)  # never recovers
+        out = self._schedule(plan, policy, num=20)
+        assert len(out.completion_ns) == 20
+        assert out.breakers["0"]["state"] == "open"
+        assert out.breaker_readmissions == 0
+
+    def test_default_policy_activates_with_plan(self):
+        # failure_plan without an explicit policy turns breakers on.
+        plan = DeviceFailurePlan.burst(0, 0.0, 8e6)
+        scheduler = CloudScheduler(_fleet(2), batch_window_ns=0.0,
+                                   max_batch_size=1, failure_plan=plan)
+        out = scheduler.schedule(_stream(20))
+        assert out.breakers  # summary present => breakers were live
+
+    def test_replay_bit_identical(self):
+        policy = HealthPolicy(failure_threshold=2, cooldown_ns=3e6,
+                              probe_successes=2)
+        plan = DeviceFailurePlan.burst(0, 0.0, 2.2e7)
+        first = self._schedule(plan, policy)
+        second = self._schedule(plan, policy)
+        assert first.to_dict() == second.to_dict()
+
+    def test_outcome_dict_carries_breaker_fields(self):
+        policy = HealthPolicy(failure_threshold=1, cooldown_ns=3e6)
+        plan = DeviceFailurePlan.burst(0, 0.0, 5e6)
+        payload = self._schedule(plan, policy).to_dict()
+        assert "batch_failures" in payload
+        assert "breaker_trips" in payload
+        assert "breakers" in payload
+
+
+class TestPriorityAging:
+    def test_aging_validation(self):
+        with pytest.raises(ValueError):
+            CloudScheduler(_fleet(1), priority_aging_ns=0.0)
+
+    def test_aging_prevents_tail_starvation(self):
+        """Under sustained overload, aging interleaves best-effort work
+        with the interactive flood instead of serving it dead last."""
+        qc = workload("bell").circuit()
+        subs = []
+        for i in range(40):
+            # 3 interactive arrivals per best-effort one, saturating.
+            user = "vip" if i % 4 else "cheap"
+            priority = 20 if user == "vip" else 0
+            subs.append(SubmittedProgram(
+                qc, arrival_ns=i * 2.5e5, user=user, priority=priority))
+
+        def turnarounds(aging):
+            scheduler = CloudScheduler(
+                _fleet(2), batch_window_ns=0.0, max_batch_size=1,
+                priority_aging_ns=aging)
+            out = scheduler.schedule(subs)
+            assert len(out.completion_ns) == len(subs)
+            per_user = {"vip": [], "cheap": []}
+            for i, sub in enumerate(subs):
+                per_user[sub.user].append(
+                    out.completion_ns[i] - sub.arrival_ns)
+            return per_user
+
+        strict = turnarounds(None)
+        # Both classes age at the same rate, so a queued best-effort
+        # program overtakes interactive work that arrived more than
+        # priority_gap * aging ns later: 20 * 2e5 = 4e6 ns, well inside
+        # the 1e7 ns arrival span.
+        aged = turnarounds(2e5)
+        assert max(aged["cheap"]) < max(strict["cheap"])
+        assert sum(aged["cheap"]) < sum(strict["cheap"])
+
+    def test_no_aging_is_bitwise_legacy(self):
+        subs = _stream(20)
+        base = CloudScheduler(_fleet(2), batch_window_ns=0.0)
+        legacy = base.schedule(subs).to_dict()
+        # Explicit None must not perturb the event order.
+        again = CloudScheduler(_fleet(2), batch_window_ns=0.0,
+                               priority_aging_ns=None).schedule(subs)
+        assert again.to_dict() == legacy
