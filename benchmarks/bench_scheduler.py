@@ -81,6 +81,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small CI configuration (fewer programs, "
                              "one allocator) with the >=2x gate")
+    parser.add_argument("--sweep-fleets", action="store_true",
+                        help="also sweep the saturation knee over "
+                             "heterogeneous fleet shapes beyond the "
+                             "2-device config")
     parser.add_argument("--programs", type=int, default=None,
                         help="number of submissions (default 24; 12 "
                              "with --smoke)")
@@ -258,6 +262,79 @@ def main(argv: Sequence[str] | None = None) -> int:
          "knee interarrival(ms)"],
         knee_rows)
 
+    # --- knee sweep across heterogeneous fleet shapes ------------------
+    # Same shared traffic draw and knee definition, but on larger,
+    # heterogeneous fleets (Toronto twins + Melbourne): more devices
+    # absorb faster arrival streams, so the knee should move left (to
+    # smaller interarrival) as the fleet grows.
+    fleet_sweep: Dict[str, Dict] = {}
+    if args.sweep_fleets:
+        sweep_shapes = [3] if args.smoke else [3, 4]
+        sweep_rows: List[List[object]] = []
+        for shape in sweep_shapes:
+            devices = fleet_devices(shape)
+            curve = []
+            for rate in knee_rates:
+                out = run_service(provider, knee_streams[float(rate)],
+                                  devices, "qucp", args.threshold,
+                                  policy="least_loaded", max_batch_size=1)
+                curve.append({
+                    "interarrival_ns": float(rate),
+                    "mean_turnaround_ns": out.mean_turnaround_ns,
+                    "p99_turnaround_ns": out.turnaround_p99_ns,
+                    "max_queue_depth": out.max_queue_depth,
+                })
+            idle = curve[0]["mean_turnaround_ns"]
+            knee_ns = None
+            for point in curve:
+                if point["mean_turnaround_ns"] <= knee_factor * idle:
+                    knee_ns = point["interarrival_ns"]
+            fleet_sweep[f"fleet{shape}"] = {
+                "devices": [d.name for d in devices],
+                "curve": curve,
+                "idle_turnaround_ns": idle,
+                "knee_factor": knee_factor,
+                "knee_interarrival_ns": knee_ns,
+            }
+            sweep_rows.append([
+                f"fleet{shape}", "+".join(d.name for d in devices),
+                fmt_ms(idle),
+                " ".join(f"{p['mean_turnaround_ns'] / idle:.1f}x"
+                         for p in curve),
+                "-" if knee_ns is None else f"{knee_ns / 1e6:g}",
+            ])
+        print_table(
+            "Saturation knee across heterogeneous fleet shapes "
+            "(least_loaded, qucp)",
+            ["fleet", "devices", "idle turnaround(ms)",
+             "slowdown per rate", "knee interarrival(ms)"],
+            sweep_rows)
+
+    # --- knee regression gate vs the committed artifact ----------------
+    # The knee is the *fastest* (smallest) interarrival the service
+    # absorbs without doubling turnaround; a regression is the knee
+    # GROWING — saturating at a slower arrival rate than the committed
+    # baseline.  Read the baseline before overwriting the artifact.
+    knee_regressions: List[str] = []
+    committed_baseline: Dict = {}
+    if os.path.exists(ARTIFACT):
+        try:
+            with open(ARTIFACT) as fh:
+                committed_baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            committed_baseline = {}
+    baseline_policies = (committed_baseline.get("saturation_knee", {})
+                         .get("policies", {}))
+    for policy, data in knee_artifact.items():
+        base = baseline_policies.get(policy, {}).get("knee_interarrival_ns")
+        if base is None:
+            continue
+        new = data["knee_interarrival_ns"]
+        if new is None or float(new) > float(base):
+            knee_regressions.append(
+                f"{policy}: knee {base / 1e6:g} ms -> "
+                f"{'none' if new is None else f'{new / 1e6:g} ms'}")
+
     with open(ARTIFACT, "w") as fh:
         json.dump({"programs": num_programs, "threshold": args.threshold,
                    "best_speedup": best_overall, "outcomes": artifact,
@@ -266,6 +343,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                        "rates_ns": [float(r) for r in knee_rates],
                        "policies": knee_artifact,
                    },
+                   "fleet_sweep": fleet_sweep,
                    "racing": {
                        "programs": race_programs,
                        "rate_ns": race_rate,
@@ -286,6 +364,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     print("OK: raced schedule replays bit-identically (deterministic "
           "winner under fixed seed)")
+
+    if knee_regressions:
+        print("FAIL: saturation knee regressed vs the committed "
+              "BENCH_scheduler.json: " + "; ".join(knee_regressions),
+              file=sys.stderr)
+        return 1
+    if baseline_policies:
+        print("OK: saturation knee at or better than the committed "
+              "baseline for every measured policy")
 
     # The gate holds at the loaded operating point: near-idle rates are
     # reported for the shape (speedup -> 1x as the queue empties) but a

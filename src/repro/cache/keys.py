@@ -46,6 +46,9 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import (ControlFlowOp, ForLoopOp, IfElseOp,
+                                    WhileLoopOp)
+from ..circuits.parameters import Parameter, ParameterExpression
 from ..transpiler.context import (
     calibration_fingerprint,
     coupling_fingerprint,
@@ -128,19 +131,94 @@ def persistent_token(fn) -> Optional[str]:
     return None if token is None else str(token)
 
 
+def _cf_param(p):
+    """Value-encode a body parameter so loop-parameterized bodies hash.
+
+    A for-loop body's instructions carry the symbolic loop parameter; two
+    freshly-built copies of the same workload hold *different* Parameter
+    objects (identity-hashed), which would defeat dedup.  Inside a
+    control-flow payload the parameter is op-local — the op itself
+    records the binding (indexset + parameter name) — so encoding by
+    name is sound there.
+    """
+    if isinstance(p, Parameter):
+        return ("param", p.name)
+    if isinstance(p, ParameterExpression):
+        terms = tuple(sorted(
+            (t.name, float(c)) for t, c in p._terms.items()))  # noqa: SLF001
+        return ("expr", terms, float(p._constant))  # noqa: SLF001
+    return p
+
+
+def _condition_key(condition) -> Tuple:
+    return (tuple(condition.clbits), condition.value)
+
+
+def _control_flow_payload(op: ControlFlowOp,
+                          relabel: Optional[Dict[int, int]]) -> Tuple:
+    """Recursive structural payload of a control-flow op.
+
+    Body instruction sequences are encoded in order (with qubits pushed
+    through *relabel* when canonicalizing); declared body widths are
+    deliberately excluded — they are a labeling artifact (``max touched
+    qubit + 1``), and including them would split relabel-equivalent
+    dynamic circuits into different classes.
+    """
+    bodies = tuple(
+        tuple(_body_entry(inst, relabel) for inst in body.instructions)
+        for body in op.bodies)
+    if isinstance(op, IfElseOp):
+        extra: Tuple = ("if", _condition_key(op.condition), len(op.bodies))
+    elif isinstance(op, ForLoopOp):
+        extra = ("for", tuple(op.indexset),
+                 None if op.loop_parameter is None
+                 else op.loop_parameter.name)
+    elif isinstance(op, WhileLoopOp):
+        extra = ("while", _condition_key(op.condition), op.max_iterations)
+    else:  # pragma: no cover - future op kinds fall back to the name
+        extra = (op.name,)
+    return extra + (bodies,)
+
+
+def _body_entry(inst, relabel: Optional[Dict[int, int]]) -> Tuple:
+    qubits = inst.qubits if relabel is None \
+        else tuple(relabel[q] for q in inst.qubits)
+    if isinstance(inst.gate, ControlFlowOp):
+        return (inst.name, _control_flow_payload(inst.gate, relabel),
+                qubits, inst.clbits)
+    return (inst.name, tuple(_cf_param(p) for p in inst.params),
+            qubits, inst.clbits)
+
+
+def _entry(inst, relabel: Optional[Dict[int, int]] = None) -> Tuple:
+    """One top-level instruction's key entry.
+
+    Static instructions keep the historical raw-params form (so existing
+    keys are unchanged); control-flow ops get the recursive payload.
+    """
+    qubits = inst.qubits if relabel is None \
+        else tuple(relabel[q] for q in inst.qubits)
+    if isinstance(inst.gate, ControlFlowOp):
+        return (inst.name, _control_flow_payload(inst.gate, relabel),
+                qubits, inst.clbits)
+    return (inst.name, inst.params, qubits, inst.clbits)
+
+
 def circuit_key(circuit: QuantumCircuit) -> Optional[Tuple]:
     """Structural fingerprint of a circuit, or None when unhashable.
 
     Circuits are compared by value, not identity, so two benchmark combos
     that instantiate the same workload twice share cache entries.
-    Unbound symbolic parameters may be unhashable; those circuits simply
-    bypass the cache.
+    Control-flow ops contribute a recursive payload (nested bodies,
+    condition, indexset/max-iterations), so two dynamic programs with
+    the same block structure share entries too.  Unbound symbolic
+    parameters may be unhashable; those circuits simply bypass the
+    cache.
     """
     key = (
         circuit.num_qubits,
         circuit.num_clbits,
-        tuple((inst.name, inst.params, inst.qubits, inst.clbits)
-              for inst in circuit),
+        tuple(_entry(inst) for inst in circuit),
     )
     try:
         hash(key)
@@ -171,6 +249,25 @@ class CanonicalForm:
     invariants: Tuple
 
 
+def _record_appearance(instructions, order: Dict[int, int]) -> None:
+    """First-appearance qubit order, descending into control-flow bodies.
+
+    A control-flow op's own ``inst.qubits`` is a *sorted* footprint —
+    walking it directly would make the relabeling depend on the original
+    labels and break relabel-equivalence.  Walking the body instruction
+    sequences in program order keeps the canonical form invariant under
+    qubit permutation.
+    """
+    for inst in instructions:
+        if isinstance(inst.gate, ControlFlowOp):
+            for body in inst.gate.bodies:
+                _record_appearance(body.instructions, order)
+        else:
+            for q in inst.qubits:
+                if q not in order:
+                    order[q] = len(order)
+
+
 def canonical_form(circuit: QuantumCircuit) -> Optional[CanonicalForm]:
     """Canonicalize *circuit*, or ``None`` when unhashable.
 
@@ -185,10 +282,7 @@ def canonical_form(circuit: QuantumCircuit) -> Optional[CanonicalForm]:
     if exact is None:
         return None
     order: Dict[int, int] = {}
-    for inst in circuit:
-        for q in inst.qubits:
-            if q not in order:
-                order[q] = len(order)
+    _record_appearance(circuit.instructions, order)
     nxt = len(order)
     relabel = [0] * circuit.num_qubits
     identity = True
@@ -210,12 +304,11 @@ def canonical_form(circuit: QuantumCircuit) -> Optional[CanonicalForm]:
     )
     if identity:
         return CanonicalForm(exact, exact, None, invariants)
+    relabel_map = {q: label for q, label in enumerate(relabel)}
     canon = (
         circuit.num_qubits,
         circuit.num_clbits,
-        tuple((inst.name, inst.params,
-               tuple(relabel[q] for q in inst.qubits), inst.clbits)
-              for inst in circuit),
+        tuple(_entry(inst, relabel_map) for inst in circuit),
     )
     return CanonicalForm(exact, canon, tuple(relabel), invariants)
 

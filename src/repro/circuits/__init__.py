@@ -11,6 +11,16 @@ Public surface:
 """
 
 from .circuit import CircuitError, Instruction, QuantumCircuit
+from .controlflow import (
+    Condition,
+    ControlFlowOp,
+    ForLoopOp,
+    IfElseOp,
+    WhileLoopOp,
+    has_control_flow,
+    is_control_flow,
+    measured_clbits_of,
+)
 from .clifford import (
     CliffordElement,
     CliffordGroup,
@@ -40,6 +50,14 @@ __all__ = [
     "CircuitError",
     "CliffordElement",
     "CliffordGroup",
+    "Condition",
+    "ControlFlowOp",
+    "ForLoopOp",
+    "IfElseOp",
+    "WhileLoopOp",
+    "has_control_flow",
+    "is_control_flow",
+    "measured_clbits_of",
     "Gate",
     "GateError",
     "Instruction",

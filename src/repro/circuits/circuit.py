@@ -45,7 +45,18 @@ class Instruction:
 
     def remap(self, qubit_map: Dict[int, int],
               clbit_map: Optional[Dict[int, int]] = None) -> "Instruction":
-        """Return a copy with qubits (and optionally clbits) renumbered."""
+        """Return a copy with qubits (and optionally clbits) renumbered.
+
+        Control-flow gates are rebuilt recursively: their nested bodies
+        and conditions pass through the same maps, and the instruction's
+        footprint is recomputed from the remapped op.
+        """
+        from .controlflow import ControlFlowOp
+
+        if isinstance(self.gate, ControlFlowOp):
+            new_gate = self.gate.remapped(qubit_map, clbit_map)
+            return Instruction(new_gate, new_gate.touched_qubits,
+                               new_gate.touched_clbits)
         new_q = tuple(qubit_map[q] for q in self.qubits)
         if clbit_map is None:
             new_c = self.clbits
@@ -291,6 +302,105 @@ class QuantumCircuit:
         return self
 
     # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def _append_control_flow(self, op) -> "QuantumCircuit":
+        """Validate a control-flow op's footprint and append it."""
+        for body in op.bodies:
+            if body.num_qubits > self.num_qubits:
+                raise CircuitError(
+                    f"{op.name} body spans {body.num_qubits} qubits but "
+                    f"the circuit has {self.num_qubits}; bodies are "
+                    "indexed in the outer circuit's qubit space")
+        for q in op.touched_qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit index {q} out of range")
+        for c in op.touched_clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(f"clbit index {c} out of range")
+        self._instructions.append(
+            Instruction(op, op.touched_qubits, op.touched_clbits))
+        return self
+
+    def if_test(self, condition, true_body: "QuantumCircuit",
+                false_body: Optional["QuantumCircuit"] = None,
+                ) -> "QuantumCircuit":
+        """Append an ``if``/``else`` over outer-indexed *bodies*.
+
+        *condition* is a :class:`~repro.circuits.controlflow.Condition`
+        or a ``(clbit, value)`` / ``(clbits, value)`` pair.  Bodies are
+        circuits over this circuit's qubit/clbit index space.
+        """
+        from .controlflow import IfElseOp
+
+        return self._append_control_flow(
+            IfElseOp(condition, true_body, false_body))
+
+    def for_loop(self, indexset, body: "QuantumCircuit",
+                 loop_parameter=None) -> "QuantumCircuit":
+        """Append a statically-bounded loop running *body* per index."""
+        from .controlflow import ForLoopOp
+
+        return self._append_control_flow(
+            ForLoopOp(indexset, body, loop_parameter))
+
+    def while_loop(self, condition, body: "QuantumCircuit",
+                   max_iterations: Optional[int] = None) -> "QuantumCircuit":
+        """Append a condition-guarded loop (capped at *max_iterations*)."""
+        from .controlflow import DEFAULT_MAX_ITERATIONS, WhileLoopOp
+
+        if max_iterations is None:
+            max_iterations = DEFAULT_MAX_ITERATIONS
+        return self._append_control_flow(
+            WhileLoopOp(condition, body, max_iterations))
+
+    def has_control_flow(self) -> bool:
+        """True when any instruction is an if/for/while op."""
+        from .controlflow import has_control_flow
+
+        return has_control_flow(self)
+
+    def has_midcircuit_measurement(self) -> bool:
+        """True when a measured qubit is *operated on* again afterwards.
+
+        These are the circuits whose semantics the deferred-measurement
+        simulators (final-state projection, "last measure per clbit
+        wins") get wrong: the qubit must be collapsed at measurement
+        time, so they execute on the per-shot feed-forward path.  Delays
+        and barriers after a measure don't count (ALAP scheduling pads
+        every measured circuit with them), and re-measuring an untouched
+        qubit doesn't either (projective measurement is repeatable).
+        """
+        from .controlflow import ControlFlowOp
+
+        measured: set = set()
+        for inst in self._instructions:
+            if inst.name in ("delay", "barrier"):
+                continue
+            if inst.name == "measure":
+                measured.add(inst.qubits[0])
+                continue
+            if isinstance(inst.gate, ControlFlowOp):
+                if any(q in measured for q in inst.gate.touched_qubits):
+                    return True
+                # Conservative: any qubit a body might measure counts as
+                # measured from here on.
+                stack = [i for body in inst.gate.bodies
+                         for i in body.instructions]
+                while stack:
+                    nested = stack.pop()
+                    if nested.name == "measure":
+                        measured.add(nested.qubits[0])
+                    elif isinstance(nested.gate, ControlFlowOp):
+                        stack.extend(
+                            i for body in nested.gate.bodies
+                            for i in body.instructions)
+                continue
+            if any(q in measured for q in inst.qubits):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # structural queries
     # ------------------------------------------------------------------
     def size(self, include_directives: bool = False) -> int:
@@ -318,7 +428,16 @@ class QuantumCircuit:
         return self.count_ops().get("cx", 0)
 
     def depth(self, include_directives: bool = False) -> int:
-        """Circuit depth: longest qubit-wise dependency chain."""
+        """Circuit depth: longest qubit-wise dependency chain.
+
+        Control-flow ops contribute their *worst-case* depth bound
+        (``if``: deepest branch; ``for``: iterations x body depth;
+        ``while``: ``max_iterations`` x body depth) over their full
+        qubit/clbit footprint, so the result is a static upper bound
+        rather than a per-shot depth.
+        """
+        from .controlflow import ControlFlowOp
+
         level: Dict[int, int] = {}
         clevel: Dict[int, int] = {}
         depth = 0
@@ -326,13 +445,17 @@ class QuantumCircuit:
             if inst.gate.is_directive and not include_directives:
                 if inst.name != "measure":
                     continue
+            if isinstance(inst.gate, ControlFlowOp):
+                weight = inst.gate.depth_bound(include_directives)
+            else:
+                weight = 1
             bits = inst.qubits
             start = max(
                 [level.get(q, 0) for q in bits]
                 + [clevel.get(c, 0) for c in inst.clbits]
                 + [0]
             )
-            end = start + 1
+            end = start + weight
             for q in bits:
                 level[q] = end
             for c in inst.clbits:
@@ -358,10 +481,18 @@ class QuantumCircuit:
         return out
 
     def inverse(self) -> "QuantumCircuit":
-        """Return the adjoint circuit; fails on measure/reset."""
+        """Return the adjoint circuit; fails on measure/reset/control flow."""
+        from .controlflow import ControlFlowOp
+
         out = QuantumCircuit(self.num_qubits, self.num_clbits,
                              f"{self.name}_dg")
         for inst in reversed(self._instructions):
+            if isinstance(inst.gate, ControlFlowOp):
+                raise CircuitError(
+                    f"cannot invert control-flow op {inst.name!r}: branch "
+                    "outcomes are shot-dependent; statically resolvable "
+                    "circuits can be flattened first with "
+                    "repro.transpiler.controlflow.expand_control_flow")
             if inst.name in ("measure", "reset"):
                 raise CircuitError("cannot invert a circuit with "
                                    f"{inst.name!r}")
@@ -371,10 +502,27 @@ class QuantumCircuit:
             out.append(inst.gate.inverse(), inst.qubits)
         return out
 
+    def adjoint(self) -> "QuantumCircuit":
+        """Alias for :meth:`inverse` (same control-flow restrictions)."""
+        return self.inverse()
+
     def without_measurements(self) -> "QuantumCircuit":
-        """Return a copy with measure/barrier instructions stripped."""
+        """Return a copy with measure/barrier instructions stripped.
+
+        Raises :class:`CircuitError` on control-flow ops: stripping a
+        mid-circuit measurement that feeds a condition would silently
+        change which branches run.
+        """
+        from .controlflow import ControlFlowOp
+
         out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
         for inst in self:
+            if isinstance(inst.gate, ControlFlowOp):
+                raise CircuitError(
+                    f"cannot strip measurements around control-flow op "
+                    f"{inst.name!r}: conditions read measured clbits; "
+                    "expand_control_flow the circuit first if it is "
+                    "statically resolvable")
             if inst.name in ("measure", "barrier"):
                 continue
             out._instructions.append(inst)
@@ -432,17 +580,25 @@ class QuantumCircuit:
     @property
     def parameters(self) -> set:
         """Free symbolic parameters of the circuit."""
+        from .controlflow import ControlFlowOp
         from .parameters import ParameterExpression
 
         out: set = set()
         for inst in self:
+            if isinstance(inst.gate, ControlFlowOp):
+                out.update(inst.gate.free_parameters)
+                continue
             for p in inst.params:
                 if isinstance(p, ParameterExpression):
                     out.update(p.parameters)
         return out
 
     def is_parameterized(self) -> bool:
-        """True when any gate carries an unbound parameter."""
+        """True when any gate carries an unbound parameter.
+
+        A ``for`` loop's own loop variable does not count — it is bound
+        internally at each iteration.
+        """
         return any(inst.gate.is_parameterized for inst in self
                    if not inst.gate.is_directive)
 
@@ -451,10 +607,17 @@ class QuantumCircuit:
 
         *values* maps :class:`~repro.circuits.parameters.Parameter` to
         numbers.  Binding may be partial; unbound parameters remain
-        symbolic.
+        symbolic.  Control-flow bodies are bound recursively.
         """
+        from .controlflow import ControlFlowOp
+
         out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
         for inst in self:
+            if isinstance(inst.gate, ControlFlowOp):
+                out._instructions.append(
+                    Instruction(inst.gate.bound(values), inst.qubits,
+                                inst.clbits))
+                continue
             if inst.gate.is_directive or not inst.gate.is_parameterized:
                 out._instructions.append(inst)
                 continue

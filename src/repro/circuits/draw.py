@@ -16,8 +16,22 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .circuit import QuantumCircuit
+from .controlflow import (ControlFlowOp, ForLoopOp, IfElseOp,
+                          WhileLoopOp)
 
 __all__ = ["draw"]
+
+
+def _control_flow_label(op: ControlFlowOp) -> str:
+    """Short box label for a control-flow op, e.g. ``[if(c0==1)]``."""
+    if isinstance(op, IfElseOp):
+        tag = "if/else" if op.false_body is not None else "if"
+        return f"[{tag}({op.condition!r})]"
+    if isinstance(op, ForLoopOp):
+        return f"[for(x{len(op.indexset)})]"
+    if isinstance(op, WhileLoopOp):
+        return f"[while({op.condition!r},<={op.max_iterations})]"
+    return f"[{op.name}]"  # pragma: no cover - future op kinds
 
 
 def _gate_label(name: str, params) -> str:
@@ -49,6 +63,27 @@ def draw(circuit: QuantumCircuit, max_width: int = 2000) -> str:
             for q in range(circuit.num_qubits):
                 symbol = "-|-" if q in inst.qubits else "-" * width
                 lines[q].append(symbol)
+            continue
+        if isinstance(inst.gate, ControlFlowOp):
+            if not inst.qubits:
+                continue
+            label = _control_flow_label(inst.gate)
+            width = len(label) + 2
+            anchor = min(inst.qubits)
+            lo, hi = anchor, max(inst.qubits)
+            for q in range(circuit.num_qubits):
+                if q == anchor:
+                    symbol = label
+                elif q in inst.qubits:
+                    symbol = "-#-"
+                elif lo < q < hi:
+                    symbol = "-|-"
+                else:
+                    lines[q].append("-" * width)
+                    continue
+                pad = width - len(symbol)
+                lines[q].append("-" * (pad // 2) + symbol
+                                + "-" * (pad - pad // 2))
             continue
         if len(inst.qubits) == 1:
             label = _gate_label(inst.name, inst.params)

@@ -14,6 +14,7 @@ import re
 from typing import Dict, List, Tuple
 
 from .circuit import QuantumCircuit
+from .controlflow import ControlFlowOp
 from .gates import gate
 
 __all__ = ["parse_qasm", "to_qasm", "QasmError"]
@@ -177,6 +178,16 @@ def to_qasm(circuit: QuantumCircuit) -> str:
     if circuit.num_clbits:
         lines.append(f"creg c[{circuit.num_clbits}];")
     for inst in circuit:
+        if isinstance(inst.gate, ControlFlowOp):
+            # OpenQASM 2.0 has no classical control flow beyond the
+            # single-creg `if` statement, which cannot express nested
+            # bodies or loops.  Fail loudly with the available remedies.
+            raise QasmError(
+                f"OpenQASM 2.0 cannot express control-flow op "
+                f"{inst.name!r}; expand it first with "
+                "repro.transpiler.controlflow.expand_control_flow (for "
+                "statically-resolvable circuits) or keep the circuit in "
+                "the native IR")
         if inst.name == "measure":
             lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
             continue

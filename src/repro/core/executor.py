@@ -44,6 +44,7 @@ from ..cache import (
 )
 from ..cache import transpile_key as compute_transpile_key
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import measured_clbits_of
 from ..hardware.devices import Device
 from ..sim.density_matrix import SimulationResult
 from ..sim.executor import Program, run_parallel, spawn_seeds
@@ -115,7 +116,7 @@ class ExecutionOutcome:
 # The token versions the persistent store's entries for this pipeline:
 # bump it whenever the default pipeline's output would change, so stale
 # artifacts from older builds miss instead of being reused.
-@persistent_cache_token("default-O3-alap-sched/v1")
+@persistent_cache_token("default-O3-alap-sched/v2")
 def _default_transpiler(circuit: QuantumCircuit, device: Device,
                         allocation: ProgramAllocation) -> TranspileResult:
     return transpile_for_partition(circuit, device, allocation.partition,
@@ -411,7 +412,9 @@ def execute_allocation(
     device = allocation_result.device
     ordered = sorted(allocation_result.allocations, key=lambda a: a.index)
     for alloc in ordered:
-        if not any(i.name == "measure" for i in alloc.circuit):
+        # measured_clbits_of descends into control-flow bodies, so a
+        # dynamic program whose only measures live inside branches counts.
+        if not measured_clbits_of(alloc.circuit):
             raise ValueError(
                 f"program {alloc.index} has no measurements; metrics need "
                 "measured outputs")

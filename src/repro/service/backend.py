@@ -37,6 +37,7 @@ from typing import (
 )
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import has_control_flow
 from ..core.allocators import (
     AllocationResult,
     Allocator,
@@ -69,6 +70,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["BackendConfiguration", "BaseBackend", "SimulatorBackend",
            "CloudBackend"]
+
+
+def _count_dynamic(circuits) -> int:
+    """How many circuits stay dynamic after static expansion.
+
+    These are the programs the sim layer runs on the per-shot
+    feed-forward path; resolvable control flow (bounded loops,
+    compile-time branches) unrolls away and is *not* counted.
+    """
+    from ..transpiler.controlflow import is_statically_resolvable
+
+    return sum(1 for c in circuits
+               if has_control_flow(c) and not is_statically_resolvable(c))
 
 
 @dataclass(frozen=True)
@@ -377,6 +391,8 @@ class SimulatorBackend(BaseBackend):
             execution_batches=deltas["execution_batches"],
             execution_chunks=deltas["execution_chunks"],
             execution_fallbacks=deltas["execution_fallbacks"],
+            dynamic_programs=_count_dynamic(
+                a.circuit for a in allocation.allocations),
         )
         programs = build_program_results([outcomes], [self._device.name])
         return Result(metadata=metadata, programs=programs,
@@ -572,6 +588,7 @@ class CloudBackend(BaseBackend):
             rejection_reasons=tuple(sorted(
                 (int(i), str(r))
                 for i, r in outcome.rejection_reasons.items())),
+            dynamic_programs=_count_dynamic(s.circuit for s in subs),
         )
         device_names = [job.device_name for job in outcome.jobs]
         programs = build_program_results(outcomes, device_names,

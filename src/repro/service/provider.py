@@ -301,6 +301,11 @@ class QuantumProvider:
         return CloudBackend(device.name, self, DeviceFleet(device),
                             BackendConfiguration(**config))
 
+    def get_backend(self, target: DeviceLike = "ibm_toronto",
+                    **config) -> CloudBackend:
+        """Alias of :meth:`backend` (the Qiskit-style accessor name)."""
+        return self.backend(target, **config)
+
     def simulator(self, target: DeviceLike = "ibm_toronto",
                   **config) -> SimulatorBackend:
         """A direct-execution backend on one device (no queue model)."""

@@ -155,6 +155,9 @@ class RunMetadata:
     #: pairs, sorted by index (tuple-of-tuples so the dataclass stays
     #: hashable).  Empty for direct simulator runs.
     rejection_reasons: Tuple[Tuple[int, str], ...] = ()
+    #: Submitted circuits still carrying control flow after static
+    #: expansion (they executed on the per-shot feed-forward path).
+    dynamic_programs: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (NaN timings become ``None``)."""
@@ -181,6 +184,7 @@ class RunMetadata:
             "attempts": int(self.attempts),
             "rejection_reasons": {str(i): str(r) for i, r
                                   in self.rejection_reasons},
+            "dynamic_programs": int(self.dynamic_programs),
         }
 
     @classmethod
@@ -219,6 +223,7 @@ class RunMetadata:
             attempts=int(payload.get("attempts", 1)),
             rejection_reasons=tuple(sorted(
                 (int(i), str(r)) for i, r in reasons.items())),
+            dynamic_programs=int(payload.get("dynamic_programs", 0)),
         )
 
 

@@ -32,6 +32,7 @@ from .estimator import (
     estimate_expectation,
     estimate_expectation_on_device,
 )
+from .feedforward import dynamic_probabilities, run_dynamic
 from .fidelity import (
     counts_fidelity,
     hellinger_fidelity,
@@ -73,6 +74,7 @@ __all__ = [
     "counts_fidelity",
     "counts_to_probs",
     "depolarizing_channel",
+    "dynamic_probabilities",
     "embed_gate",
     "estimate_expectation",
     "estimate_expectation_on_device",
@@ -88,6 +90,7 @@ __all__ = [
     "phase_flip_channel",
     "purity",
     "run_circuit",
+    "run_dynamic",
     "sample_counts",
     "simulate_density_matrix",
     "simulate_statevector",

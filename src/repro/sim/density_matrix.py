@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import has_control_flow
 from ..circuits.gates import Gate
 from .channels import KrausChannel
 from .kernels import (
@@ -187,6 +188,14 @@ def simulate_density_matrix(
     *backend* selects the contraction kernels (``"tensor"``, default) or
     the dense full-space reference (``"dense"``).
     """
+    if has_control_flow(circuit):
+        from ..circuits.circuit import CircuitError
+
+        raise CircuitError(
+            "simulate_density_matrix cannot evolve control-flow ops (the "
+            "pre-measurement state is branch-dependent); use "
+            "repro.sim.feedforward.run_dynamic, or statically unroll with "
+            "repro.transpiler.expand_control_flow first")
     ops = _backend_ops(backend, circuit.num_qubits)
     rho = ops.initial()
     error_scales = error_scales or {}
@@ -267,7 +276,19 @@ def run_circuit(
 
     *seed* may be an int or a :class:`numpy.random.SeedSequence` (the
     batched executor spawns independent child sequences per program).
+
+    Control-flow circuits and circuits with genuine mid-circuit
+    measurements are routed to the feed-forward engine
+    (:func:`repro.sim.feedforward.run_dynamic`), which delegates right
+    back here once static expansion flattens them — so resolvable
+    dynamic circuits cost one extra pass and produce bit-identical
+    samples to their unrolled form.
     """
+    if has_control_flow(circuit) or circuit.has_midcircuit_measurement():
+        from .feedforward import run_dynamic
+
+        return run_dynamic(circuit, noise_model=noise_model, shots=shots,
+                           seed=seed, error_scales=error_scales)
     rho = simulate_density_matrix(circuit, noise_model, error_scales,
                                   backend=backend)
     probs, measured_clbits = _measured_probabilities(circuit, rho,

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import ControlFlowOp, has_control_flow
 from ..hardware.devices import Device
 from .density_matrix import SimulationResult, run_circuit
 from .readout import SeedLike
@@ -90,7 +91,14 @@ def timed_intervals(
         cavail: Dict[int, float] = {}
         out: List[Tuple[float, float]] = []
         for inst in instructions:
-            if inst.name == "delay":
+            if isinstance(inst.gate, ControlFlowOp):
+                # A control-flow block occupies its whole qubit/clbit
+                # footprint for its *worst-case* duration: the deepest
+                # branch for if/else, iterations x body makespan for
+                # loops.  That is the bound the scheduler must reserve.
+                dur = inst.gate.duration_bound(
+                    lambda body: _body_makespan(body, gate_duration))
+            elif inst.name == "delay":
                 dur = float(inst.params[0])
             else:
                 dur = gate_duration.get(inst.name, 35.0)
@@ -117,6 +125,13 @@ def timed_intervals(
     raise ValueError(f"unknown scheduling mode {mode!r}")
 
 
+def _body_makespan(body: QuantumCircuit,
+                   gate_duration: Dict[str, float]) -> float:
+    """ASAP makespan of a control-flow body (recursive via intervals)."""
+    intervals = timed_intervals(body, gate_duration, mode="asap")
+    return max((end for _, end in intervals), default=0.0)
+
+
 def _crosstalk_scales(
     programs: Sequence[Program],
     device: Device,
@@ -136,7 +151,11 @@ def _crosstalk_scales(
         intervals = timed_intervals(prog.circuit, durations,
                                     mode=scheduling)
         for i_idx, inst in enumerate(prog.circuit):
-            if inst.gate.is_directive or len(inst.qubits) != 2:
+            if (inst.gate.is_directive or len(inst.qubits) != 2
+                    or isinstance(inst.gate, ControlFlowOp)):
+                # Control-flow blocks are neither crosstalk aggressors
+                # nor victims: their internal CX timing is shot-dependent
+                # so the joint-schedule overlap model cannot place them.
                 continue
             edge = prog.physical_edge(*inst.qubits)
             start, end = intervals[i_idx]
@@ -162,11 +181,38 @@ def _crosstalk_scales(
     return scales
 
 
+def _validate_program_edges(instructions, prog: Program,
+                            device: Device) -> None:
+    """Check every 2q gate — control-flow bodies included — is on a link."""
+    for inst in instructions:
+        if isinstance(inst.gate, ControlFlowOp):
+            for body in inst.gate.bodies:
+                _validate_program_edges(body.instructions, prog, device)
+            continue
+        if inst.gate.is_directive or len(inst.qubits) != 2:
+            continue
+        edge = prog.physical_edge(*inst.qubits)
+        if not device.coupling.is_edge(*edge):
+            raise ValueError(
+                f"2q gate on {edge} but the device has no such link")
+
+
 def _with_trailing_idle(circuit: QuantumCircuit, idle_ns: float
                         ) -> QuantumCircuit:
-    """Insert a pre-measurement delay on every qubit (ASAP penalty)."""
+    """Insert a pre-measurement delay on every qubit (ASAP penalty).
+
+    Dynamic and mid-circuit-measurement circuits get the idle appended
+    at the very end instead: moving a mid-circuit measure past the
+    control flow (or the later gates) it feeds would change which
+    branches run / what the bit reads.
+    """
     if idle_ns <= 0:
         return circuit
+    if has_control_flow(circuit) or circuit.has_midcircuit_measurement():
+        out = circuit.copy()
+        for q in range(circuit.num_qubits):
+            out.delay(q, idle_ns)
+        return out
     out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
                          circuit.name)
     measures = [inst for inst in circuit if inst.name == "measure"]
@@ -231,13 +277,7 @@ def prepare_parallel(
         if overlap:
             raise ValueError(f"partitions overlap on qubits {sorted(overlap)}")
         seen.update(prog.partition)
-        for inst in prog.circuit:
-            if inst.gate.is_directive or len(inst.qubits) != 2:
-                continue
-            edge = prog.physical_edge(*inst.qubits)
-            if not device.coupling.is_edge(*edge):
-                raise ValueError(
-                    f"2q gate on {edge} but the device has no such link")
+        _validate_program_edges(prog.circuit.instructions, prog, device)
 
     durations = device.calibration.gate_duration
     # Under ASAP, pad shorter programs with trailing idle (decoherence)

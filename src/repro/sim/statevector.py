@@ -14,6 +14,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import has_control_flow
 from .kernels import apply_to_statevector, initial_state_tensor
 from .unitary import bitstring_of
 
@@ -51,7 +52,17 @@ def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
     If the circuit contains measurements, probabilities are marginalized
     onto the measured clbits (clbit 0 is the leftmost character of the
     key); otherwise all qubits are reported in qubit order.
+
+    Control-flow circuits, circuits with resets, and circuits with
+    genuine mid-circuit measurements are routed to the exact tree-walk
+    engine (:func:`repro.sim.feedforward.dynamic_probabilities`), which
+    collapses the state at each measurement instead of deferring.
     """
+    if (has_control_flow(circuit) or circuit.has_midcircuit_measurement()
+            or any(inst.name == "reset" for inst in circuit)):
+        from .feedforward import dynamic_probabilities
+
+        return dynamic_probabilities(circuit)
     n = circuit.num_qubits
     amps = simulate_statevector(circuit.without_measurements())
     probs = np.abs(amps) ** 2

@@ -1,8 +1,11 @@
 """Noise-aware transpiler: basis decomposition, HA-style initial mapping,
 reliability-weighted routing, gate optimization, ALAP scheduling."""
 
-from .dd import insert_dd_sequences
+from .dd import (DD_STRATEGIES, insert_dd_sequences,
+                 insert_dd_sequences_multi, stagger_offsets)
 from .basis import decompose_oneq_gate, decompose_to_basis, zyz_angles
+from .controlflow import (expand_control_flow, is_statically_resolvable,
+                          transpile_dynamic)
 from .context import (
     DeviceContext,
     context_cache_stats,
@@ -12,7 +15,8 @@ from .context import (
 )
 from .layout import Layout
 from .mapping import interaction_counts, layout_cost, noise_aware_layout
-from .optimize import cancel_adjacent_pairs, fuse_oneq_runs, optimize_circuit
+from .optimize import (cancel_adjacent_pairs, combine_adjacent_delays,
+                       fuse_oneq_runs, optimize_circuit)
 from .routing import RoutedCircuit, route_circuit
 from .sabre import sabre_route
 from .schedule import circuit_duration, schedule_alap
@@ -25,19 +29,24 @@ from .transpile import (
 )
 
 __all__ = [
+    "DD_STRATEGIES",
     "DeviceContext",
     "Layout",
     "RoutedCircuit",
     "TranspileResult",
     "cancel_adjacent_pairs",
     "circuit_duration",
+    "combine_adjacent_delays",
     "context_cache_stats",
     "decompose_oneq_gate",
     "decompose_to_basis",
     "device_context",
     "edge_reliability_weight",
+    "expand_control_flow",
     "fuse_oneq_runs",
     "insert_dd_sequences",
+    "insert_dd_sequences_multi",
+    "is_statically_resolvable",
     "interaction_counts",
     "layout_cost",
     "noise_aware_layout",
@@ -48,6 +57,8 @@ __all__ = [
     "route_circuit",
     "sabre_route",
     "schedule_alap",
+    "stagger_offsets",
     "transpile",
+    "transpile_dynamic",
     "transpile_for_partition",
 ]

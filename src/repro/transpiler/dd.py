@@ -14,12 +14,14 @@ error — so DD pays off only on windows long enough that drift dominates.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..circuits.gates import Gate
+from ..hardware.topology import CouplingMap
 
-__all__ = ["insert_dd_sequences"]
+__all__ = ["insert_dd_sequences", "insert_dd_sequences_multi",
+           "stagger_offsets", "DD_STRATEGIES"]
 
 #: Idle windows shorter than this many X-gate durations are left alone —
 #: the two inserted gates would cost more error than the echo saves.
@@ -59,4 +61,115 @@ def insert_dd_sequences(
         out.delay(q, idle / 2.0)
         out.x(q)
         out.delay(q, idle / 4.0)
+    return out
+
+
+# ----------------------------------------------------------------------
+# multi-strategy staggered DD
+# ----------------------------------------------------------------------
+#: Supported pulse trains.  ``xx``/``cpmg`` are the 2-pulse echo (CPMG
+#: spacing tau/4, tau/2, tau/4); ``xy4`` alternates X and Y pulses, which
+#: additionally refocuses pulse-axis errors (XYXY = -I, a global phase).
+DD_STRATEGIES = ("xx", "cpmg", "xy4")
+
+_PULSES: Dict[str, Sequence[str]] = {
+    "xx": ("x", "x"),
+    "cpmg": ("x", "x"),
+    "xy4": ("x", "y", "x", "y"),
+}
+
+#: Idle-time fractions of the delay segments between (and around) the
+#: pulses.  Alternating-sign sums are zero, so the detuning echo survives
+#: shifting the whole train by ``s`` (first segment +s, last -s):
+#: xx/cpmg: +1/4+s - 1/2 + 1/4-s = 0;  xy4: +1/8+s -1/4 +1/4 -1/4 +1/8-s = 0.
+_SEGMENTS: Dict[str, Sequence[float]] = {
+    "xx": (0.25, 0.5, 0.25),
+    "cpmg": (0.25, 0.5, 0.25),
+    "xy4": (0.125, 0.25, 0.25, 0.25, 0.125),
+}
+
+
+def stagger_offsets(coupling: Optional[CouplingMap],
+                    num_qubits: int) -> Dict[int, int]:
+    """Greedy coupling-graph coloring: per-qubit stagger slot.
+
+    Coupled qubits get different colors, so their DD pulses — shifted by
+    ``color x pulse-duration`` — never fire simultaneously and cannot
+    add coherent crosstalk kicks on the shared link.  Without a coupling
+    map every qubit sits in slot 0 (no stagger).
+    """
+    if coupling is None:
+        return {q: 0 for q in range(num_qubits)}
+    colors: Dict[int, int] = {}
+    for q in range(num_qubits):
+        taken = {colors[nbr] for nbr in coupling.neighbors(q)
+                 if nbr in colors}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[q] = color
+    return colors
+
+
+def insert_dd_sequences_multi(
+    circuit: QuantumCircuit,
+    gate_duration: Optional[Dict[str, float]] = None,
+    strategy: Union[str, Mapping[int, str]] = "xy4",
+    coupling: Optional[CouplingMap] = None,
+    min_window: Optional[float] = None,
+    stagger_unit: Optional[float] = None,
+) -> QuantumCircuit:
+    """Replace long delays with per-qubit, stagger-offset DD trains.
+
+    *strategy* is a single name from :data:`DD_STRATEGIES` or a mapping
+    ``qubit -> name`` (unlisted qubits default to ``"xy4"``).  When
+    *coupling* is given, each qubit's pulse train is shifted later by
+    ``color x stagger_unit`` (graph-coloring slot x one pulse duration by
+    default) so pulses on coupled qubits don't collide; the shift moves
+    idle time from the trailing segment to the leading one, which keeps
+    both the total duration and the echo cancellation exact.  Delays
+    inside control-flow bodies are untouched (their windows are
+    data-dependent).
+    """
+    gate_duration = gate_duration or {}
+    x_duration = gate_duration.get("x", 35.0)
+    threshold = min_window if min_window is not None \
+        else _MIN_WINDOW_X_DURATIONS * x_duration
+    unit = stagger_unit if stagger_unit is not None else x_duration
+    offsets = stagger_offsets(coupling, circuit.num_qubits)
+
+    def strategy_for(q: int) -> str:
+        name = strategy if isinstance(strategy, str) \
+            else strategy.get(q, "xy4")
+        if name not in DD_STRATEGIES:
+            raise ValueError(
+                f"unknown DD strategy {name!r}; choose from "
+                f"{DD_STRATEGIES}")
+        return name
+
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    for inst in circuit:
+        if inst.name != "delay":
+            out._instructions.append(inst)  # noqa: SLF001
+            continue
+        total = float(inst.params[0])
+        q = inst.qubits[0]
+        name = strategy_for(q)
+        pulses = _PULSES[name]
+        pulse_time = sum(gate_duration.get(p, 35.0) for p in pulses)
+        idle = total - pulse_time
+        if total < threshold or idle <= 0:
+            out._instructions.append(inst)  # noqa: SLF001
+            continue
+        segments = [frac * idle for frac in _SEGMENTS[name]]
+        shift = min(offsets.get(q, 0) * unit, max(segments[-1], 0.0))
+        segments[0] += shift
+        segments[-1] -= shift
+        for k, pulse in enumerate(pulses):
+            if segments[k] > 1e-12:
+                out.delay(q, segments[k])
+            out._add(pulse, [q])
+        if segments[-1] > 1e-12:
+            out.delay(q, segments[-1])
     return out

@@ -16,9 +16,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.controlflow import ControlFlowOp
+from ..circuits.gates import Gate
 from .basis import decompose_oneq_gate
 
-__all__ = ["cancel_adjacent_pairs", "fuse_oneq_runs", "optimize_circuit"]
+__all__ = ["cancel_adjacent_pairs", "combine_adjacent_delays",
+           "fuse_oneq_runs", "optimize_circuit"]
 
 #: Fused-run memo: (gate name, params) sequence of a 1q run -> its fused
 #: replacement (``None`` = "keep the original run").  The fused form is a
@@ -129,7 +132,8 @@ def fuse_oneq_runs(circuit: QuantumCircuit) -> QuantumCircuit:
 
     for inst in circuit:
         if (not inst.gate.is_directive and len(inst.qubits) == 1
-                and inst.name != "delay"):
+                and inst.name != "delay"
+                and not isinstance(inst.gate, ControlFlowOp)):
             pending.setdefault(inst.qubits[0], []).append(inst)
             continue
         for q in inst.qubits:
@@ -137,6 +141,46 @@ def fuse_oneq_runs(circuit: QuantumCircuit) -> QuantumCircuit:
         out._instructions.append(inst)  # noqa: SLF001
     for q in sorted(pending):
         flush(q)
+    return out
+
+
+def combine_adjacent_delays(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge runs of consecutive ``delay`` instructions on one qubit.
+
+    Only *literally adjacent* instructions merge (no reordering across
+    other qubits' operations), so the noise channels every other
+    instruction sees keep their original order — amplitude/phase damping
+    over ``t1`` then ``t2`` equals one channel over ``t1 + t2``, which is
+    what makes the merge semantics-preserving.  Zero-duration delays are
+    dropped.  DD insertion and loop unrolling both produce these runs.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         circuit.name)
+    pending_qubit: Optional[int] = None
+    pending_duration = 0.0
+
+    def flush() -> None:
+        nonlocal pending_qubit, pending_duration
+        if pending_qubit is not None and pending_duration > 0.0:
+            out._instructions.append(  # noqa: SLF001
+                Instruction(Gate("delay", 1, (pending_duration,)),
+                            (pending_qubit,)))
+        pending_qubit = None
+        pending_duration = 0.0
+
+    for inst in circuit:
+        if inst.name == "delay":
+            q = inst.qubits[0]
+            if pending_qubit == q:
+                pending_duration += float(inst.params[0])
+            else:
+                flush()
+                pending_qubit = q
+                pending_duration = float(inst.params[0])
+            continue
+        flush()
+        out._instructions.append(inst)  # noqa: SLF001
+    flush()
     return out
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.controlflow import has_control_flow
 from ..hardware.calibration import Calibration
 from ..hardware.devices import Device
 from ..hardware.topology import CouplingMap
@@ -25,9 +26,11 @@ from .context import (
     induced_calibration,
     induced_coupling,
 )
+from .controlflow import expand_control_flow, transpile_dynamic
+from .dd import insert_dd_sequences_multi
 from .layout import Layout
 from .mapping import noise_aware_layout
-from .optimize import optimize_circuit
+from .optimize import combine_adjacent_delays, optimize_circuit
 from .routing import route_circuit
 from .schedule import schedule_alap
 
@@ -58,6 +61,7 @@ def transpile(
     seed: int = 0,
     router: str = "basic",
     context: Optional[DeviceContext] = None,
+    dd: Optional[str] = None,
 ) -> TranspileResult:
     """Compile *circuit* for a device described by *coupling*.
 
@@ -66,11 +70,28 @@ def transpile(
     the cached compilation context for ``(coupling, calibration)``;
     when omitted the shared registry supplies it, so repeated calls on
     one device never rebuild the distance tables.
+
+    Control-flow circuits are statically unrolled first; what stays
+    data-dependent after :func:`expand_control_flow` is compiled by the
+    routing-free dynamic pipeline (:func:`transpile_dynamic`).
+
+    *dd* optionally names a dynamical-decoupling strategy (``"xx"``,
+    ``"cpmg"``, ``"xy4"``) inserted into scheduled idle windows, with
+    pulse trains staggered across coupled qubits; it requires
+    ``schedule=True`` and a calibration.
     """
     if not 0 <= optimization_level <= 3:
         raise ValueError("optimization_level must be 0..3")
     if context is None:
         context = device_context(coupling, calibration)
+    if has_control_flow(circuit):
+        expanded = expand_control_flow(circuit)
+        if has_control_flow(expanded):
+            return transpile_dynamic(
+                expanded, coupling, calibration,
+                optimization_level=optimization_level, schedule=schedule,
+                seed=seed, context=context)
+        circuit = expanded
     basis = decompose_to_basis(circuit)
     if initial_layout is None:
         initial_layout = noise_aware_layout(basis, coupling, calibration,
@@ -88,6 +109,16 @@ def transpile(
     optimized = optimize_circuit(routed.circuit, optimization_level)
     if schedule and calibration is not None:
         optimized = schedule_alap(optimized, calibration.gate_duration)
+        if dd is not None:
+            optimized = insert_dd_sequences_multi(
+                optimized, calibration.gate_duration, strategy=dd,
+                coupling=coupling)
+        if optimization_level >= 1:
+            optimized = combine_adjacent_delays(optimized)
+    elif dd is not None:
+        raise ValueError(
+            "dd requires schedule=True and a calibration (DD fills "
+            "scheduled idle windows)")
     return TranspileResult(
         circuit=optimized,
         initial_layout=routed.initial_layout,
@@ -128,6 +159,7 @@ def transpile_for_partition(
     schedule: bool = True,
     seed: int = 0,
     context: Optional[DeviceContext] = None,
+    dd: Optional[str] = None,
 ) -> TranspileResult:
     """Compile *circuit* onto a specific partition of *device*.
 
@@ -145,4 +177,4 @@ def transpile_for_partition(
     sub = context.partition_context(tuple(int(q) for q in partition))
     return transpile(circuit, sub.coupling, sub.calibration,
                      optimization_level=optimization_level,
-                     schedule=schedule, seed=seed, context=sub)
+                     schedule=schedule, seed=seed, context=sub, dd=dd)

@@ -1,6 +1,13 @@
 """Benchmark workloads: the paper's Table II circuit suite plus
 synthetic multi-user traffic generators for the cloud scheduler."""
 
+from .dynamic import (
+    DYNAMIC_SUITE,
+    dynamic_circuit,
+    dynamic_workload,
+    dynamic_workload_names,
+    dynamic_workloads,
+)
 from .suite import (
     ALIASES,
     TABLE_II,
@@ -24,11 +31,16 @@ __all__ = [
     "ALIASES",
     "ARRIVAL_PATTERNS",
     "CIRCUIT_MIXES",
+    "DYNAMIC_SUITE",
     "TABLE_II",
     "Workload",
     "all_workloads",
     "bursty_arrival_times",
     "dump_qasm",
+    "dynamic_circuit",
+    "dynamic_workload",
+    "dynamic_workload_names",
+    "dynamic_workloads",
     "poisson_arrival_times",
     "sample_workload_mix",
     "synthesize_traffic",

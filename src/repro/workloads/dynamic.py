@@ -1,0 +1,158 @@
+"""Dynamic-circuit workloads: feed-forward teleportation, repeat-until-
+success, and statically-resolvable loop programs.
+
+These are the control-flow counterparts of the Table II suite: small
+(2-3 qubit) programs whose builders return *self-contained* circuits —
+every measurement they need is already in place (mid-circuit measures
+feed the branches; ``measure_all`` on top would be redundant), so use
+``Workload.circuit(measured=False)`` / :func:`dynamic_circuit` when
+drawing from this suite.
+
+``echo_loop`` is deliberately statically resolvable: it exercises the
+:func:`~repro.transpiler.expand_control_flow` unroll-then-cache path,
+while the other three keep data-dependent branches and exercise the
+per-shot feed-forward path.  Traffic mixes
+(:func:`repro.workloads.synthesize_traffic` with ``dynamic_fraction``)
+interleave both kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuits.circuit import QuantumCircuit
+from .suite import Workload
+
+__all__ = [
+    "DYNAMIC_SUITE",
+    "dynamic_circuit",
+    "dynamic_workload",
+    "dynamic_workload_names",
+    "dynamic_workloads",
+]
+
+
+def teleportation() -> QuantumCircuit:
+    """Standard one-qubit teleportation with feed-forward corrections.
+
+    An ``ry(0.8)`` state on qubit 0 is teleported to qubit 2 through a
+    Bell pair; the X/Z corrections are classically-controlled on the
+    mid-circuit measurement outcomes (the canonical dynamic circuit).
+    """
+    qc = QuantumCircuit(3, 3, name="teleportation")
+    qc.ry(0.8, 0)
+    qc.h(1)
+    qc.cx(1, 2)
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    x_fix = QuantumCircuit(3, 3)
+    x_fix.x(2)
+    z_fix = QuantumCircuit(3, 3)
+    z_fix.z(2)
+    qc.if_test(([1], 1), x_fix)
+    qc.if_test(([0], 1), z_fix)
+    qc.measure(2, 2)
+    return qc
+
+
+def repeat_until_success() -> QuantumCircuit:
+    """Repeat-until-success: re-prepare q0 until it measures 1.
+
+    Each failed round resets and re-tries (bounded at 6 iterations), so
+    clbit 0 reads 1 with probability ``1 - 2^-7``; the success then
+    fans out onto q1 through a CX.
+    """
+    qc = QuantumCircuit(2, 2, name="repeat_until_success")
+    qc.h(0)
+    qc.measure(0, 0)
+    retry = QuantumCircuit(2, 2)
+    retry.reset(0)
+    retry.h(0)
+    retry.measure(0, 0)
+    qc.while_loop(([0], 0), retry, max_iterations=6)
+    qc.cx(0, 1)
+    qc.measure(1, 1)
+    return qc
+
+
+def echo_loop() -> QuantumCircuit:
+    """Bounded X-X echo loop around a Bell pair — statically resolvable.
+
+    The for-loop body is pure identity (two X pulses), so
+    ``expand_control_flow`` unrolls the whole program into a flat Bell
+    circuit; this workload exists to exercise the unroll-then-cache
+    path inside mixed dynamic traffic.
+    """
+    qc = QuantumCircuit(2, 2, name="echo_loop")
+    qc.h(0)
+    echo = QuantumCircuit(2, 2)
+    echo.x(0)
+    echo.x(0)
+    qc.for_loop(range(4), echo)
+    qc.cx(0, 1)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    return qc
+
+
+def conditional_fixup() -> QuantumCircuit:
+    """Measure-and-correct: an if/else branch steered by a coin flip.
+
+    A Hadamard coin on q0 decides whether q1 gets an X (if) or stays
+    put after a reset (else); q1 then drives q2 through a CX, so the
+    output distribution mixes both branches.
+    """
+    qc = QuantumCircuit(3, 3, name="conditional_fixup")
+    qc.h(0)
+    qc.measure(0, 0)
+    flip = QuantumCircuit(3, 3)
+    flip.x(1)
+    hold = QuantumCircuit(3, 3)
+    hold.reset(1)
+    qc.if_test(([0], 1), flip, hold)
+    qc.cx(1, 2)
+    qc.measure(1, 1)
+    qc.measure(2, 2)
+    return qc
+
+
+#: The dynamic suite, keyed by workload name.  ``num_gates``/``num_cx``
+#: count top-level instructions (bodies excluded — their execution count
+#: is data-dependent).
+DYNAMIC_SUITE: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload("teleportation", 3, 10, 2, False, teleportation),
+        Workload("repeat_until_success", 2, 5, 1, False,
+                 repeat_until_success),
+        Workload("echo_loop", 2, 5, 1, False, echo_loop),
+        Workload("conditional_fixup", 3, 7, 1, False, conditional_fixup),
+    )
+}
+
+
+def dynamic_workload_names() -> List[str]:
+    """Names of the dynamic suite, in registry order."""
+    return list(DYNAMIC_SUITE)
+
+
+def dynamic_workloads() -> List[Workload]:
+    """Every dynamic workload, in registry order."""
+    return list(DYNAMIC_SUITE.values())
+
+
+def dynamic_workload(name: str) -> Workload:
+    """Look up one dynamic workload by name."""
+    found = DYNAMIC_SUITE.get(name)
+    if found is None:
+        raise KeyError(
+            f"unknown dynamic workload {name!r}; available: "
+            f"{', '.join(DYNAMIC_SUITE)}")
+    return found
+
+
+def dynamic_circuit(name: str) -> QuantumCircuit:
+    """Build one dynamic workload's circuit (already fully measured)."""
+    return dynamic_workload(name).circuit(measured=False)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.scheduler import SubmittedProgram
+from .dynamic import dynamic_workloads
 from .suite import Workload, all_workloads, workload
 
 __all__ = [
@@ -115,6 +116,40 @@ def sample_workload_mix(
     return [suite[i] for i in picks]
 
 
+def _mix_in_dynamic(picks: List[Workload], dynamic_fraction: float,
+                    rng: np.random.Generator) -> List[Workload]:
+    """Replace a *dynamic_fraction* of the picks with dynamic workloads.
+
+    Each slot is independently rerolled with the given probability; the
+    replacement is drawn uniformly from the dynamic suite.  Fraction 0
+    (the default everywhere) is a strict no-op — it doesn't even draw
+    from the RNG, so existing seeded streams are unchanged.
+    """
+    if dynamic_fraction == 0.0:
+        return picks
+    if not 0.0 <= dynamic_fraction <= 1.0:
+        raise ValueError("dynamic_fraction must be within [0, 1]")
+    dyn = dynamic_workloads()
+    out = list(picks)
+    for i in range(len(out)):
+        if rng.random() < dynamic_fraction:
+            out[i] = dyn[int(rng.integers(len(dyn)))]
+    return out
+
+
+def _build_circuit(wl: Workload) -> "QuantumCircuit":  # noqa: F821
+    """A workload's submission circuit.
+
+    Dynamic-suite builders are self-contained (their measurements are
+    part of the program — mid-circuit measures feed the branches), so
+    they skip the ``measure_all`` the static suite needs.
+    """
+    built = wl.builder()
+    if built.has_control_flow() or built.has_midcircuit_measurement():
+        return built
+    return wl.circuit()
+
+
 def synthesize_traffic(
     num_programs: int,
     pattern: str = "poisson",
@@ -124,6 +159,7 @@ def synthesize_traffic(
     num_users: int = 4,
     user_priorities: Optional[Dict[str, int]] = None,
     burst_size: int = 4,
+    dynamic_fraction: float = 0.0,
 ) -> List[SubmittedProgram]:
     """Synthesize a full submission stream for the cloud scheduler.
 
@@ -131,6 +167,9 @@ def synthesize_traffic(
     *user_priorities* optionally maps user names to scheduler
     priorities (default 0).  For the ``bursty`` pattern,
     *mean_interarrival_ns* sets the quiet gap between bursts.
+    *dynamic_fraction* rerolls that share of the submissions onto the
+    dynamic (control-flow) suite, so mixed static/dynamic streams can
+    be dialed in for scheduler studies.
     """
     if pattern not in ARRIVAL_PATTERNS:
         raise ValueError(
@@ -147,12 +186,13 @@ def synthesize_traffic(
             num_programs, burst_size=burst_size,
             burst_gap_ns=mean_interarrival_ns, seed=rng)
     picks = sample_workload_mix(num_programs, mix=mix, seed=rng)
+    picks = _mix_in_dynamic(picks, dynamic_fraction, rng)
     priorities = user_priorities or {}
     out: List[SubmittedProgram] = []
     for i, (t, wl) in enumerate(zip(arrivals, picks)):
         user = f"user{i % num_users}"
         out.append(SubmittedProgram(
-            circuit=wl.circuit(),
+            circuit=_build_circuit(wl),
             arrival_ns=float(t),
             user=user,
             priority=priorities.get(user, 0),
@@ -167,6 +207,7 @@ def traffic_rate_sweep(
     seed: SeedLike = 0,
     num_users: int = 4,
     user_priorities: Optional[Dict[str, int]] = None,
+    dynamic_fraction: float = 0.0,
 ) -> Dict[float, List[SubmittedProgram]]:
     """Poisson streams at several arrival rates with a *shared* draw.
 
@@ -191,7 +232,8 @@ def traffic_rate_sweep(
     unit_gaps = rng.exponential(1.0, size=num_programs)
     unit_gaps[0] = 0.0  # first arrival at t = 0, at every rate
     picks = sample_workload_mix(num_programs, mix=mix, seed=rng)
-    circuits = [wl.circuit() for wl in picks]
+    picks = _mix_in_dynamic(picks, dynamic_fraction, rng)
+    circuits = [_build_circuit(wl) for wl in picks]
     priorities = user_priorities or {}
     sweep: Dict[float, List[SubmittedProgram]] = {}
     for rate in mean_interarrival_ns_values:

@@ -226,3 +226,98 @@ class TestProviderPersistentStore:
             payload = result.to_dict()
             assert payload["metadata"]["cache_promotions"] >= 2
             assert "cache_evictions" in payload["metadata"]
+
+
+class TestDynamicCircuitKeys:
+    """Control-flow circuits participate in the equivalence cache: keys
+    hash nested bodies recursively and canonicalization sees through
+    qubit relabels of dynamic circuits."""
+
+    def _teleport(self):
+        from repro.workloads import dynamic_circuit
+
+        return dynamic_circuit("teleportation")
+
+    def test_fresh_builds_share_keys(self):
+        # Two independent builder calls produce distinct objects whose
+        # structural keys must still collide (cache hits across jobs).
+        assert circuit_key(self._teleport()) == circuit_key(
+            self._teleport())
+
+    def test_fresh_loop_parameter_builds_share_keys(self):
+        from repro.circuits import Parameter
+
+        def build():
+            theta = Parameter("theta")  # fresh object every call
+            body = QuantumCircuit(1, 1)
+            body.rz(theta, 0)
+            qc = QuantumCircuit(1, 1)
+            qc.for_loop(range(3), body, loop_parameter=theta)
+            qc.measure(0, 0)
+            return qc
+
+        assert circuit_key(build()) == circuit_key(build())
+
+    def test_permuted_dynamic_twins_share_canonical_form(self):
+        qc = self._teleport()
+        twin = qc.remapped({0: 2, 1: 0, 2: 1})
+        f0, f1 = canonical_form(qc), canonical_form(twin)
+        assert f0.exact_key != f1.exact_key
+        assert f0.key == f1.key
+
+    def test_indexset_distinguishes_keys(self):
+        def loop(reps):
+            body = QuantumCircuit(1, 1)
+            body.x(0)
+            qc = QuantumCircuit(1, 1)
+            qc.for_loop(range(reps), body)
+            qc.measure(0, 0)
+            return qc
+
+        assert circuit_key(loop(3)) != circuit_key(loop(4))
+
+    def test_condition_value_distinguishes_keys(self):
+        def branch(value):
+            qc = QuantumCircuit(2, 2)
+            qc.h(0)
+            qc.measure(0, 0)
+            fix = QuantumCircuit(2, 2)
+            fix.x(1)
+            qc.if_test(([0], value), fix)
+            qc.measure(1, 1)
+            return qc
+
+        assert circuit_key(branch(0)) != circuit_key(branch(1))
+
+    def test_while_cap_distinguishes_keys(self):
+        def rus(cap):
+            qc = QuantumCircuit(1, 1)
+            qc.h(0)
+            qc.measure(0, 0)
+            retry = QuantumCircuit(1, 1)
+            retry.reset(0)
+            retry.h(0)
+            retry.measure(0, 0)
+            qc.while_loop(([0], 0), retry, max_iterations=cap)
+            return qc
+
+        assert circuit_key(rus(4)) != circuit_key(rus(5))
+
+    def test_body_contents_reach_the_key(self):
+        def branch(gate):
+            qc = QuantumCircuit(2, 2)
+            qc.h(0)
+            qc.measure(0, 0)
+            fix = QuantumCircuit(2, 2)
+            fix._add(gate, [1])
+            qc.if_test(([0], 1), fix)
+            qc.measure(1, 1)
+            return qc
+
+        assert circuit_key(branch("x")) != circuit_key(branch("z"))
+
+    def test_static_keys_unaffected_by_dynamic_support(self):
+        # Historical static-entry form is preserved: a plain circuit's
+        # key contains no control-flow payload markers.
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        assert circuit_key(qc) == circuit_key(qc.copy())

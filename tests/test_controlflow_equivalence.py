@@ -1,0 +1,161 @@
+"""Randomized equivalence: unrolled vs feed-forward dynamic execution.
+
+The contract the dynamic subsystem guarantees: on statically-resolvable
+circuits, executing through :func:`run_dynamic` is **bit-identical**
+(same seed, same counts) to statically unrolling with
+:func:`expand_control_flow` and running the flat circuit through the
+ordinary distribution-sampling simulator — noise included.  On genuinely
+data-dependent circuits the per-shot trajectory engine must agree with
+the exact tree walk to within sampling noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.sim import (
+    NoiseModel,
+    dynamic_probabilities,
+    ideal_probabilities,
+    run_circuit,
+    run_dynamic,
+)
+from repro.transpiler import expand_control_flow, is_statically_resolvable
+
+#: 1-2 qubit pool; control-flow bodies draw from the same pool.
+GATE_POOL = [
+    ("h", 1, 0), ("x", 1, 0), ("s", 1, 0), ("sx", 1, 0),
+    ("rx", 1, 1), ("ry", 1, 1), ("rz", 1, 1),
+    ("cx", 2, 0), ("cz", 2, 0), ("rzz", 2, 1),
+]
+
+
+def _random_static(rng, qc, depth):
+    pool = [g for g in GATE_POOL if g[1] <= qc.num_qubits]
+    for _ in range(depth):
+        name, arity, nparams = pool[rng.integers(len(pool))]
+        qubits = rng.choice(qc.num_qubits, size=arity, replace=False)
+        params = [float(rng.uniform(0, 2 * np.pi)) for _ in range(nparams)]
+        qc._add(name, [int(q) for q in qubits], *params)
+
+
+def _random_body(rng, n):
+    body = QuantumCircuit(n, n)
+    _random_static(rng, body, int(rng.integers(1, 4)))
+    return body
+
+
+def _random_resolvable(rng, n, blocks=4):
+    """Random circuit mixing static runs with resolvable control flow.
+
+    No measurement precedes any condition, so every branch is decided
+    at compile time (clbits read 0): for-loops unroll, if/else splices
+    one branch, initially-false whiles vanish.
+    """
+    qc = QuantumCircuit(n, n)
+    for _ in range(blocks):
+        _random_static(rng, qc, int(rng.integers(1, 4)))
+        roll = rng.random()
+        if roll < 0.35:
+            qc.for_loop(range(int(rng.integers(1, 4))),
+                        _random_body(rng, n))
+        elif roll < 0.7:
+            clbit = int(rng.integers(n))
+            value = int(rng.integers(2))
+            false = _random_body(rng, n) if rng.random() < 0.5 else None
+            qc.if_test(([clbit], value), _random_body(rng, n), false)
+        else:
+            # Condition value 1 on an unwritten clbit: never entered.
+            body = _random_body(rng, n)
+            body.measure(int(rng.integers(n)), int(rng.integers(n)))
+            qc.while_loop(([int(rng.integers(n))], 1), body)
+    for q in range(n):
+        qc.measure(q, q)
+    return qc
+
+
+def _noise(n):
+    return NoiseModel(
+        oneq_error={q: 1e-3 + 1e-4 * q for q in range(n)},
+        twoq_error={(a, b): 0.01 + 0.002 * (a + b)
+                    for a in range(n) for b in range(a + 1, n)},
+        readout_error={q: (0.02, 0.01) for q in range(n)},
+        t1={q: 80_000.0 for q in range(n)},
+        t2={q: 70_000.0 for q in range(n)},
+    )
+
+
+def _tv(p, q):
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0))
+                     for k in set(p) | set(q))
+
+
+class TestResolvableBitIdentical:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_counts_bit_identical_with_noise(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        qc = _random_resolvable(rng, n)
+        assert is_statically_resolvable(qc)
+        nm = _noise(n)
+        via_dynamic = run_dynamic(qc, noise_model=nm, shots=400,
+                                  seed=1234 + seed)
+        via_flat = run_circuit(expand_control_flow(qc), noise_model=nm,
+                               shots=400, seed=1234 + seed)
+        assert via_dynamic.counts == via_flat.counts
+        assert via_dynamic.measured_clbits == via_flat.measured_clbits
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_distributions_match(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 4))
+        qc = _random_resolvable(rng, n)
+        exact = dynamic_probabilities(qc)
+        flat = ideal_probabilities(expand_control_flow(qc))
+        for key in set(exact) | set(flat):
+            assert exact.get(key, 0.0) == pytest.approx(
+                flat.get(key, 0.0), abs=1e-9)
+
+
+class TestFeedForwardAgainstTreeWalk:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_conditional_trajectories_match_exact(self, seed):
+        """Mid-circuit measure feeding an if/else: empirical TV small."""
+        rng = np.random.default_rng(200 + seed)
+        n = 2
+        qc = QuantumCircuit(n, n)
+        _random_static(rng, qc, 3)
+        qc.measure(0, 0)
+        fix = _random_body(rng, n)
+        other = _random_body(rng, n)
+        qc.if_test(([0], 1), fix, other)
+        qc.measure(1, 1)
+        exact = dynamic_probabilities(qc)
+        empirical = run_dynamic(qc, shots=3000,
+                                seed=77 + seed).probabilities
+        assert _tv(exact, empirical) < 0.08
+
+    def test_same_seed_reproduces_trajectories(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        fix = QuantumCircuit(2, 2)
+        fix.x(1)
+        qc.if_test(([0], 1), fix)
+        qc.measure(1, 1)
+        a = run_dynamic(qc, shots=200, seed=5)
+        b = run_dynamic(qc, shots=200, seed=5)
+        assert a.counts == b.counts
+
+    def test_feedforward_correlates_branch_with_outcome(self):
+        """The if-branch must fire exactly when its clbit read 1."""
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        fix = QuantumCircuit(2, 2)
+        fix.x(1)
+        qc.if_test(([0], 1), fix)
+        qc.measure(1, 1)
+        res = run_dynamic(qc, shots=500, seed=9)
+        # Perfect correlation: only 00 and 11 appear (clbit order 0,1).
+        assert set(res.counts) == {"00", "11"}

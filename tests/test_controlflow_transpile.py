@@ -1,0 +1,172 @@
+"""Transpiler integration for dynamic circuits: expansion inside
+``transpile()``, the routing-free dynamic pipeline, delay merging, and
+the DD strategy knob."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.circuit import CircuitError
+from repro.circuits.controlflow import has_control_flow
+from repro.hardware import linear_device
+from repro.hardware.topology import CouplingMap
+from repro.sim import NoiseModel, simulate_density_matrix
+from repro.transpiler import combine_adjacent_delays, transpile
+
+
+def _resolvable():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    body = QuantumCircuit(2, 2)
+    body.x(0)
+    body.x(0)
+    qc.for_loop(range(3), body)
+    qc.cx(0, 1)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    return qc
+
+
+def _dynamic():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    fix = QuantumCircuit(2, 2)
+    fix.x(1)
+    qc.if_test(([0], 1), fix)
+    qc.measure(1, 1)
+    return qc
+
+
+class TestCombineAdjacentDelays:
+    def test_merges_same_qubit_runs(self):
+        qc = QuantumCircuit(1, 0)
+        qc.delay(0, 10.0)
+        qc.delay(0, 20.0)
+        qc.delay(0, 30.0)
+        out = combine_adjacent_delays(qc)
+        assert len(out) == 1
+        assert out.instructions[0].params[0] == pytest.approx(60.0)
+
+    def test_zero_duration_dropped(self):
+        qc = QuantumCircuit(1, 0)
+        qc.x(0)
+        qc.delay(0, 0.0)
+        qc.x(0)
+        out = combine_adjacent_delays(qc)
+        assert [i.name for i in out] == ["x", "x"]
+
+    def test_no_merge_across_gates(self):
+        qc = QuantumCircuit(1, 0)
+        qc.delay(0, 10.0)
+        qc.x(0)
+        qc.delay(0, 20.0)
+        out = combine_adjacent_delays(qc)
+        assert [i.name for i in out] == ["delay", "x", "delay"]
+
+    def test_no_merge_across_qubits(self):
+        qc = QuantumCircuit(2, 0)
+        qc.delay(0, 10.0)
+        qc.delay(1, 20.0)
+        qc.delay(0, 30.0)
+        out = combine_adjacent_delays(qc)
+        # Interleaved qubits flush the pending run: order is preserved.
+        assert [(i.qubits[0], i.params[0]) for i in out] == [
+            (0, 10.0), (1, 20.0), (0, 30.0)]
+
+    def test_merge_preserves_noise_semantics(self):
+        nm = NoiseModel(t1={0: 50_000.0}, t2={0: 40_000.0},
+                        detuning={0: 1e-4})
+        qc = QuantumCircuit(1, 0)
+        qc.h(0)
+        qc.delay(0, 700.0)
+        qc.delay(0, 1_300.0)
+        merged = combine_adjacent_delays(qc)
+        rho_a = simulate_density_matrix(qc, nm)
+        rho_b = simulate_density_matrix(merged, nm)
+        assert np.allclose(rho_a, rho_b, atol=1e-12)
+
+
+class TestTranspileControlFlow:
+    def test_resolvable_circuit_flattens(self):
+        dev = linear_device(3, seed=1)
+        result = transpile(_resolvable(), dev.coupling, dev.calibration)
+        assert not has_control_flow(result.circuit)
+
+    def test_dynamic_circuit_keeps_ops_and_swaps_zero(self):
+        dev = linear_device(3, seed=1)
+        result = transpile(_dynamic(), dev.coupling, dev.calibration,
+                           schedule=True)
+        assert has_control_flow(result.circuit)
+        assert result.num_swaps == 0
+        assert result.circuit.num_qubits == dev.coupling.num_qubits
+
+    def test_dynamic_rejects_unroutable_bodies(self):
+        # A body needing a triangle of interactions cannot be placed
+        # routing-free on a 3-qubit line.
+        line = CouplingMap(3, [(0, 1), (1, 2)])
+        qc = QuantumCircuit(3, 3)
+        qc.h(0)
+        qc.measure(0, 0)
+        body = QuantumCircuit(3, 3)
+        body.cx(0, 1)
+        body.cx(1, 2)
+        body.cx(0, 2)
+        qc.if_test(([0], 1), body)
+        with pytest.raises(CircuitError, match="SWAP routing"):
+            transpile(qc, line)
+
+    def test_scheduled_default_has_no_adjacent_delays(self):
+        dev = linear_device(3, seed=1)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure(0, 0)
+        qc.measure(1, 1)
+        result = transpile(qc, dev.coupling, dev.calibration,
+                           schedule=True)
+        prev_delay_qubit = None
+        for inst in result.circuit:
+            if inst.name == "delay":
+                assert inst.qubits[0] != prev_delay_qubit
+                prev_delay_qubit = inst.qubits[0]
+            else:
+                prev_delay_qubit = None
+
+
+class TestTranspileDD:
+    def test_dd_inserts_pulses_into_idle(self):
+        dev = linear_device(3, seed=1)
+        qc = QuantumCircuit(3, 3)
+        qc.x(2)
+        qc.barrier(0, 1, 2)  # pins the X early: qubit 2 then idles
+        qc.h(0)
+        for i in range(6):
+            qc.cx(0, 1)
+            qc.rx(0.3 + 0.1 * i, 0)  # keeps the run from cancelling
+        for q in range(3):
+            qc.measure(q, q)
+        plain = transpile(qc, dev.coupling, dev.calibration,
+                          schedule=True)
+        decoupled = transpile(qc, dev.coupling, dev.calibration,
+                              schedule=True, dd="xy4")
+        assert (decoupled.circuit.count_ops().get("y", 0)
+                > plain.circuit.count_ops().get("y", 0))
+
+    def test_dd_without_schedule_rejected(self):
+        dev = linear_device(2, seed=1)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        with pytest.raises(ValueError, match="schedule=True"):
+            transpile(qc, dev.coupling, dev.calibration, dd="xx")
+
+    def test_bad_strategy_name_surfaces(self):
+        dev = linear_device(2, seed=1)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.delay(0, 10_000.0)
+        qc.measure(0, 0)
+        with pytest.raises(ValueError, match="unknown DD strategy"):
+            transpile(qc, dev.coupling, dev.calibration, schedule=True,
+                      dd="udd")

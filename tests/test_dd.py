@@ -109,3 +109,126 @@ class TestDDEfficacy:
                                 noise_model=nm, shots=0)
         assert (decoupled.probabilities.get("0", 0.0)
                 <= plain.probabilities.get("0", 0.0) + 1e-9)
+
+
+class TestMultiStrategyDD:
+    def _window(self, idle_ns=15_000.0, num_qubits=1):
+        qc = QuantumCircuit(num_qubits, num_qubits)
+        for q in range(num_qubits):
+            qc.h(q)
+            qc.delay(q, idle_ns)
+            qc.h(q)
+            qc.measure(q, q)
+        return qc
+
+    def test_xy4_pulse_train(self):
+        from repro.transpiler import insert_dd_sequences_multi
+
+        out = insert_dd_sequences_multi(self._window(), DURATIONS,
+                                        strategy="xy4")
+        ops = out.count_ops()
+        assert ops["x"] == 2 and ops["y"] == 2
+        names = [i.name for i in out if i.name in ("x", "y")]
+        assert names == ["x", "y", "x", "y"]
+
+    def test_duration_conserved_per_strategy(self):
+        from repro.transpiler import DD_STRATEGIES, insert_dd_sequences_multi
+
+        for strategy in DD_STRATEGIES:
+            out = insert_dd_sequences_multi(
+                self._window(), {"x": X_DUR, "y": X_DUR},
+                strategy=strategy)
+            total = sum(i.params[0] for i in out if i.name == "delay")
+            pulses = sum(X_DUR for i in out if i.name in ("x", "y"))
+            assert total + pulses == pytest.approx(15_000.0), strategy
+
+    def test_per_qubit_strategy_map(self):
+        from repro.transpiler import insert_dd_sequences_multi
+
+        out = insert_dd_sequences_multi(
+            self._window(num_qubits=2), DURATIONS,
+            strategy={0: "xx", 1: "xy4"})
+        by_qubit = {0: [], 1: []}
+        for inst in out:
+            if inst.name in ("x", "y"):
+                by_qubit[inst.qubits[0]].append(inst.name)
+        assert by_qubit[0] == ["x", "x"]
+        assert by_qubit[1] == ["x", "y", "x", "y"]
+
+    def test_unknown_strategy_rejected(self):
+        from repro.transpiler import insert_dd_sequences_multi
+
+        with pytest.raises(ValueError, match="unknown DD strategy"):
+            insert_dd_sequences_multi(self._window(), DURATIONS,
+                                      strategy="udd")
+
+    def test_stagger_offsets_color_coupled_qubits(self):
+        from repro.hardware.topology import CouplingMap
+        from repro.transpiler import stagger_offsets
+
+        line = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        offsets = stagger_offsets(line, 4)
+        for a, b in ((0, 1), (1, 2), (2, 3)):
+            assert offsets[a] != offsets[b]
+
+    def test_stagger_shifts_coupled_trains(self):
+        from repro.hardware.topology import CouplingMap
+        from repro.transpiler import insert_dd_sequences_multi
+
+        line = CouplingMap(2, [(0, 1)])
+        out = insert_dd_sequences_multi(
+            self._window(num_qubits=2), DURATIONS, strategy="xx",
+            coupling=line)
+        leading = {}
+        for inst in out:
+            q = inst.qubits[0]
+            if inst.name == "delay" and q not in leading:
+                leading[q] = float(inst.params[0])
+        # Different colors -> different lead-in before the first pulse.
+        assert leading[0] != leading[1]
+        # Shift = one pulse duration for color 1.
+        assert abs(leading[0] - leading[1]) == pytest.approx(X_DUR)
+
+    def test_stagger_conserves_duration_and_echo(self):
+        from repro.hardware.topology import CouplingMap
+        from repro.transpiler import insert_dd_sequences_multi
+
+        line = CouplingMap(2, [(0, 1)])
+        nm = NoiseModel(t1={q: 200_000.0 for q in range(2)},
+                        t2={q: 180_000.0 for q in range(2)},
+                        detuning={q: 2e-4 for q in range(2)},
+                        oneq_error={q: 3e-4 for q in range(2)},
+                        gate_duration=dict(DURATIONS))
+        circuit = self._window(num_qubits=2)
+        decoupled = insert_dd_sequences_multi(circuit, DURATIONS,
+                                              strategy="xy4",
+                                              coupling=line)
+        for q in range(2):
+            total = sum(i.params[0] for i in decoupled
+                        if i.name == "delay" and i.qubits[0] == q)
+            pulses = sum(X_DUR for i in decoupled
+                         if i.name in ("x", "y") and i.qubits[0] == q)
+            assert total + pulses == pytest.approx(15_000.0)
+        res = run_circuit(decoupled, noise_model=nm, shots=0)
+        # The echo survives the stagger shift: both qubits refocus.
+        assert res.probabilities.get("00", 0.0) > 0.85
+
+    def test_short_windows_untouched(self):
+        from repro.transpiler import insert_dd_sequences_multi
+
+        out = insert_dd_sequences_multi(self._window(idle_ns=100.0),
+                                        DURATIONS, strategy="xy4")
+        assert out.count_ops().get("x", 0) == 0
+
+    def test_control_flow_bodies_untouched(self):
+        from repro.transpiler import insert_dd_sequences_multi
+
+        qc = QuantumCircuit(1, 1)
+        body = QuantumCircuit(1, 1)
+        body.delay(0, 15_000.0)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.if_test(([0], 1), body)
+        out = insert_dd_sequences_multi(qc, DURATIONS)
+        op = out.instructions[-1].gate
+        assert [i.name for i in op.bodies[0]] == ["delay"]

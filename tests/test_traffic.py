@@ -128,3 +128,54 @@ class TestRateSweep:
             traffic_rate_sweep(4, [1e5, -1.0])
         with pytest.raises(ValueError, match="num_users"):
             traffic_rate_sweep(4, [1e5], num_users=0)
+
+
+class TestDynamicFraction:
+    def test_zero_fraction_is_bit_identical_noop(self):
+        """dynamic_fraction=0 must not even touch the RNG, so existing
+        seeded streams reproduce exactly."""
+        plain = synthesize_traffic(10, seed=4)
+        explicit = synthesize_traffic(10, seed=4, dynamic_fraction=0.0)
+        assert [(s.circuit.name, s.arrival_ns) for s in plain] == [
+            (s.circuit.name, s.arrival_ns) for s in explicit]
+
+    def test_fraction_mixes_in_dynamic_circuits(self):
+        subs = synthesize_traffic(40, seed=7, dynamic_fraction=0.4)
+        dynamic = [s for s in subs
+                   if s.circuit.has_control_flow()
+                   or s.circuit.has_midcircuit_measurement()]
+        assert 0 < len(dynamic) < 40
+        from repro.workloads import dynamic_workload_names
+        assert {s.circuit.name for s in dynamic} <= set(
+            dynamic_workload_names())
+
+    def test_dynamic_circuits_are_self_contained(self):
+        """Dynamic builders carry their own measures — no measure_all
+        stacked on top (that would re-measure mid-circuit clbits)."""
+        from repro.workloads import dynamic_circuit, dynamic_workload_names
+        from repro.circuits.controlflow import written_clbits_of
+
+        subs = synthesize_traffic(30, seed=2, dynamic_fraction=1.0)
+        for sub in subs:
+            if sub.circuit.name in dynamic_workload_names():
+                reference = dynamic_circuit(sub.circuit.name)
+                assert len(sub.circuit) == len(reference)
+                assert written_clbits_of(sub.circuit)
+
+    def test_deterministic_under_seed(self):
+        first = synthesize_traffic(20, seed=9, dynamic_fraction=0.5)
+        again = synthesize_traffic(20, seed=9, dynamic_fraction=0.5)
+        assert [s.circuit.name for s in first] == [
+            s.circuit.name for s in again]
+
+    def test_rate_sweep_accepts_fraction(self):
+        sweep = traffic_rate_sweep(12, [1e5, 5e5], seed=3,
+                                   dynamic_fraction=0.5)
+        names_per_rate = [[s.circuit.name for s in subs]
+                         for subs in sweep.values()]
+        # Shared draw: same programs at every rate.
+        assert names_per_rate[0] == names_per_rate[1]
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError, match="dynamic_fraction"):
+            synthesize_traffic(4, seed=0, dynamic_fraction=1.5)
